@@ -1,0 +1,31 @@
+# Convenience targets for the Self-Stabilizing Java reproduction.
+
+PYTHON ?= python
+
+.PHONY: test bench bench-full examples check-apps clean
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/catch_a_bug.py
+	$(PYTHON) examples/infer_annotations.py
+	$(PYTHON) examples/lifetime_bounds.py
+	$(PYTHON) examples/program_understanding.py wind_sensor
+	$(PYTHON) examples/mp3_fault_injection.py
+
+check-apps:
+	for f in src/repro/apps/programs/*.sj; do \
+	  echo "== $$f"; $(PYTHON) -m repro.cli check $$f || exit 1; \
+	done
+
+clean:
+	rm -rf .pytest_cache .hypothesis benchmarks/results
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""What the checker catches: four realistic non-stabilizing bugs.
+
+Each variant of a small sensor smoother contains one bug that would let
+corrupted state survive forever; the SJava checker pinpoints each with a
+different analysis:
+
+1. an accumulator that never flushes          → shared/eviction check
+2. a value flowing up the lattice             → flow-down rule
+3. a secret kept in a conditionally-updated field → eviction check
+4. a retry loop that may spin forever         → termination analysis
+
+Run:  python examples/catch_a_bug.py
+"""
+
+from repro import check_program
+
+VARIANTS = {
+    "exponential smoother never flushes": '''
+    @LATTICE("LVL,LVL*")
+    class Smoother {
+      @LOC("LVL") float level;
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {
+        SSJAVA:
+        while (true) {
+          @LOC("IN") float v = Device.readTemp();
+          // BUG: old `level` never fully leaves: a corrupted value
+          // decays but persists forever (not self-stabilizing).
+          level = level * 0.9 + v * 0.1;
+          SJ.broadcast(level);
+        }
+      }
+    }
+    ''',
+    "value flows up the lattice": '''
+    @LATTICE("CAL<RAW")
+    class Sensor {
+      @LOC("RAW") float raw;
+      @LOC("CAL") float calibrated;
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {
+        SSJAVA:
+        while (true) {
+          @LOC("IN") float v = Device.readTemp();
+          raw = v;
+          calibrated = raw * 1.01;
+          raw = calibrated;   // BUG: feedback from low to high
+          SJ.broadcast(calibrated);
+        }
+      }
+    }
+    ''',
+    "stale state behind a condition": '''
+    @LATTICE("PEAK")
+    class Peak {
+      @LOC("PEAK") float peak;
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {
+        SSJAVA:
+        while (true) {
+          @LOC("IN") float v = Device.readTemp();
+          // BUG: peak is only overwritten when exceeded, so a corrupted
+          // huge value stays forever.
+          if (v > peak) { peak = v; }
+          SJ.broadcast(peak);
+        }
+      }
+    }
+    ''',
+    "retry loop may spin forever": '''
+    class Retry {
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {
+        SSJAVA:
+        while (true) {
+          @LOC("IN") int v = Device.readSensor();
+          @LOC("B") int got = v;
+          // BUG: nothing guarantees the retry loop exits.
+          while (got < 0) { got = got * 2; }
+          SJ.broadcast(got);
+        }
+      }
+    }
+    ''',
+}
+
+
+def main() -> None:
+    for title, source in VARIANTS.items():
+        report = check_program(source)
+        print(f"== {title} ==")
+        assert not report.self_stabilizing
+        for diagnostic in report.errors:
+            print(f"   {diagnostic}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Object-lifetime bounds (the Chapter 8 memory-management extension).
+
+The checked properties imply every object allocated inside the event
+loop eventually becomes unreachable; the lattice yields a symbolic bound
+on *when*.  This example builds a small stream joiner that allocates a
+record per iteration at different lattice depths and prints the bound
+the analysis derives for each allocation site — the numbers an
+arena-style allocator would use to recycle memory without a GC in the
+loop.
+
+Run:  python examples/lifetime_bounds.py
+"""
+
+from repro import check_program
+from repro.core.lifetime import lifetime_bounds
+from repro.lang import parse_program, resolve_program, typecheck_program
+
+SOURCE = '''
+@LATTICE("VAL<SEQ")
+class Record {
+  @LOC("SEQ") int seq;
+  @LOC("VAL") int val;
+}
+
+// freshest records at the top of the lattice; each iteration shifts the
+// window down one slot, so the slot's depth bounds the record's life
+@LATTICE("OLD2<OLD1,OLD1<NEWEST")
+class Joiner {
+  @LOC("NEWEST") Record newest;
+  @LOC("OLD1") Record old1;
+  @LOC("OLD2") Record old2;
+
+  @LATTICE("OUT<SCRATCH,SCRATCH<J,J<SEQV,SEQV<IN")
+  @THISLOC("J")
+  void run() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int v = Device.readSensor();
+      @LOC("SEQV") int seq = Device.readSensor();
+
+      // shift the window: contents (not references) move down
+      old2 = new Record();
+      old2.seq = old1.seq;
+      old2.val = old1.val;
+      old1 = new Record();
+      old1.seq = newest.seq;
+      old1.val = newest.val;
+      newest = new Record();
+      newest.seq = seq;
+      newest.val = v;
+
+      // a scratch record that never escapes the iteration
+      @LOC("SCRATCH") Record probe = new Record();
+      probe.val = newest.val;
+
+      @LOC("OUT") int joined = newest.val + old1.val + old2.val + probe.val;
+      SJ.broadcast(joined);
+    }
+  }
+}
+'''
+
+
+def main() -> None:
+    report = check_program(SOURCE)
+    print(report.format())
+    assert report.self_stabilizing
+
+    program = parse_program(SOURCE)
+    info = resolve_program(program)
+    typecheck_program(info)
+
+    print("\nallocation lifetime bounds (event-loop iterations):")
+    for bound in lifetime_bounds(info):
+        print(
+            f"  line {bound.line:3d}  <= {bound.iterations} iteration(s)"
+            f"   [{bound.description}]"
+        )
+    print(
+        "\nAn arena allocator can recycle each record that many iterations"
+        "\nafter it was allocated — no garbage collector in the loop."
+    )
+
+
+if __name__ == "__main__":
+    main()

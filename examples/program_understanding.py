@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Program understanding through inferred lattices.
+
+The SInfer paper's secondary motivation: the inferred lattices expose a
+program's information-flow architecture — "it was easy to correlate each
+level of that hierarchy with a phase of the sequential decoding process"
+(Section 6.3.2, Fig. 6.4).  This example infers annotations for the MP3
+decoder analog and renders each class lattice so the pipeline stages
+read top-to-bottom.
+
+Run:  python examples/program_understanding.py [app-name]
+"""
+
+import sys
+
+from repro.apps import APP_NAMES, load_app
+from repro.infer import infer_annotations
+from repro.infer.render import render_ascii
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "mp3_decoder"
+    if name not in APP_NAMES:
+        raise SystemExit(f"unknown app {name!r}; pick one of {APP_NAMES}")
+
+    app = load_app(name, annotated=False)
+    result = infer_annotations(app.info, mode="sinfer", verify=False)
+
+    print(f"inferred information-flow architecture of {name!r}\n")
+    for lattice_name, lattice in sorted(result.lattices.items()):
+        if not lattice.user_elements():
+            continue
+        print(f"== {lattice_name} ==")
+        print(render_ascii(lattice))
+        print()
+    print(
+        "Read each lattice top-to-bottom: fresh input at ⊤, each level a\n"
+        "processing stage, outputs at the bottom — the decoding pipeline\n"
+        "recovered from unannotated code."
+    )
+
+
+if __name__ == "__main__":
+    main()

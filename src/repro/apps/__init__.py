@@ -1,0 +1,34 @@
+"""Benchmark applications (Section 6.1) as sjava programs.
+
+* ``wind_sensor`` — the wind direction sensor running example (Fig. 2.1);
+* ``weather_index`` — the weather index example (Figs. 5.1 / 5.15);
+* ``mp3_decoder`` — the JLayer MP3 decoder analog;
+* ``eye_tracker`` — the LEA eye tracking analog;
+* ``sumo_robot`` — the Sumo robot controller analog;
+* ``heart_monitor`` — a cardiac monitor for the paper's safety-critical
+  scenario (Section 1.2), demonstrating ``@METHODDEFAULT``.
+
+:func:`load_app` parses + resolves an application; ``annotated=False``
+strips the location annotations (for the inference evaluation, which
+takes the benchmarks with all location annotations removed).
+Each app ships a deterministic iteration-keyed device generator for the
+stabilization experiments.
+"""
+
+from repro.apps.registry import (
+    APP_NAMES,
+    AppBundle,
+    app_device_factory,
+    app_source,
+    load_app,
+    strip_location_annotations,
+)
+
+__all__ = [
+    "APP_NAMES",
+    "AppBundle",
+    "app_device_factory",
+    "app_source",
+    "load_app",
+    "strip_location_annotations",
+]

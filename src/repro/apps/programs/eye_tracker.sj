@@ -1,0 +1,103 @@
+// Eye tracking analog (the LEA benchmark of Section 6.2.2).
+//
+// Each iteration grabs an image summary from the camera (three band
+// brightness values for face localization plus two eye-region samples),
+// localizes the face, refines the eye position within the face region,
+// pushes the position into a three-deep history (LEA stores the last
+// three eye positions and shifts them down each iteration), and derives
+// one of eight relative movement directions from the deviation between
+// the newest position and the history average.
+//
+// Stabilization structure: everything except the history is overwritten
+// every iteration; the history is an ordered buffer of depth 3, so a
+// corrupted position leaves the program within three iterations —
+// exactly the paper's worst-case bound for LEA.
+
+@LATTICE("HIST,DET")
+public class EyeTracker {
+  @LOC("DET") private Detector det = new Detector();
+  @LOC("HIST") private OrderedBuffer histX = new OrderedBuffer(3);
+  @LOC("HIST") private OrderedBuffer histY = new OrderedBuffer(3);
+
+  @LATTICE("OUTD<DEVV,DEVV<ET,ET<EYEV,EYEV<FACEV,FACEV<RAW")
+  @THISLOC("ET")
+  public void track() {
+    SSJAVA:
+    while (true) {
+      // image summary: three horizontal band brightnesses...
+      @LOC("RAW") int band0 = Device.readPixel();
+      @LOC("RAW") int band1 = Device.readPixel();
+      @LOC("RAW") int band2 = Device.readPixel();
+      // ...and two eye-region samples
+      @LOC("RAW") int eyeRegionX = Device.readPixel();
+      @LOC("RAW") int eyeRegionY = Device.readPixel();
+
+      // localize the face to narrow the eye search region
+      @LOC("FACEV") float faceX = det.locateFace(band0, band1, band2);
+      @LOC("FACEV") float faceY = det.locateFace(band2, band1, band0);
+
+      // refine the eye position inside the face region
+      @LOC("EYEV") float eyeX = det.locateEye(faceX, eyeRegionX);
+      @LOC("EYEV") float eyeY = det.locateEye(faceY, eyeRegionY);
+
+      // update the position history (newest first)
+      histX.insert(eyeX);
+      histY.insert(eyeY);
+
+      // deviation of the newest position from the history average
+      @LOC("DEVV") float devX = (histX.get(0) * 2.0 - histX.get(1) - histX.get(2)) / 2.0;
+      @LOC("DEVV") float devY = (histY.get(0) * 2.0 - histY.get(1) - histY.get(2)) / 2.0;
+
+      @LOC("OUTD") int direction;
+      if (devX > 0.5) {
+        if (devY > 0.5) { direction = 1; }        // up-right
+        else {
+          if (devY < -0.5) { direction = 7; }     // down-right
+          else { direction = 0; }                 // right
+        }
+      } else {
+        if (devX < -0.5) {
+          if (devY > 0.5) { direction = 3; }      // up-left
+          else {
+            if (devY < -0.5) { direction = 5; }   // down-left
+            else { direction = 4; }               // left
+          }
+        } else {
+          if (devY > 0.5) { direction = 2; }      // up
+          else {
+            if (devY < -0.5) { direction = 6; }   // down
+            else { direction = 8; }               // stationary
+          }
+        }
+      }
+      SJ.broadcast(direction);
+    }
+  }
+}
+
+// Stateless detection helper: its `this` location is deliberately
+// unordered w.r.t. the data parameters, so results depend only on the
+// inputs and callers may place the detector object anywhere.
+class Detector {
+  @LATTICE("FOUT<FTMP,FTMP<FIN,FTHIS,FTMP*")
+  @THISLOC("FTHIS")
+  @RETURNLOC("FOUT")
+  public float locateFace(@LOC("FIN") int a, @LOC("FIN") int b, @LOC("FIN") int c) {
+    // brightness-weighted band centroid
+    @LOC("FTMP") float total = 0.0;
+    total = total + a;
+    total = total + b;
+    total = total + c;
+    @LOC("FOUT") float centroid = (b * 1.0 + c * 2.0) / (total + 1.0);
+    return centroid;
+  }
+
+  @LATTICE("EOUT<EIN,ETHIS")
+  @THISLOC("ETHIS")
+  @RETURNLOC("EOUT")
+  public float locateEye(@LOC("EIN") float face, @LOC("EIN") int region) {
+    // the face position anchors the search; the region sample refines it
+    @LOC("EOUT") float refined = face * 0.8 + region * 0.0125;
+    return refined;
+  }
+}

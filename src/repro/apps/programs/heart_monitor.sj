@@ -1,0 +1,88 @@
+// Cardiac monitor — the safety-critical usage scenario of Section 1.2.
+//
+// A patient monitor samples an ECG lead and a pressure cuff every
+// iteration, conditions both signals, classifies the rhythm, and drives
+// an alarm line.  Undetected bugs here must not corrupt operation
+// forever: self-stabilization bounds the time any corrupted state can
+// affect the alarm decision.
+//
+// The class demonstrates the class-default method lattice (Section
+// 3.6): the conditioning methods share one lattice declared once on
+// class.
+//
+// Stabilization structure: a three-beat interval history (ordered
+// buffer) is the deepest state, so the alarm decision provably returns
+// to normal within three beats of a corruption.
+
+@LATTICE("ALARM<DECIDEF,DECIDEF<RATE,RATE<SUMV,SUMV<IVALS,IVALS<ECGF,ECGF<PRESF")
+@METHODDEFAULT("MOUT<MTMP,MTMP<MIN,MTHIS,MTMP*")
+public class HeartMonitor {
+  @LOC("IVALS") private OrderedBuffer intervals = new OrderedBuffer(3);
+  @LOC("ECGF") private float ecgFiltered;
+  @LOC("PRESF") private float pressureFiltered;
+  @LOC("RATE") private float rate;
+  @LOC("ALARM") private int alarm;
+
+  @LATTICE("HM<RAWV,RAWV<IN")
+  @THISLOC("HM")
+  public void monitor() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") float ecg = Device.readSample();
+      @LOC("IN") float pressure = Device.readFloat();
+      @LOC("IN") int beatGap = Device.readSensor();
+
+      // signal conditioning (shared default method lattice)
+      @LOC("RAWV") float ecgClean = condition(ecg);
+      @LOC("RAWV") float pressureClean = condition(pressure);
+      ecgFiltered = clampSignal(ecgClean);
+      pressureFiltered = clampSignal(pressureClean);
+
+      // beat interval history: newest first, three beats deep
+      intervals.insert(beatGap * 1.0 + ecgFiltered * 0.0);
+
+      // rate estimate from the interval history
+      @LOC("HM,SUMV") float sum =
+          intervals.get(0) + intervals.get(1) + intervals.get(2);
+      rate = 180.0 / (sum / 3.0 + 1.0);
+
+      // rhythm classification drives the alarm line
+      @LOC("HM,DECIDEF") int decision;
+      if (rate > 2.2) {
+        decision = 2;                      // tachycardia
+      } else {
+        if (rate < 0.8) {
+          decision = 1;                    // bradycardia
+        } else {
+          if (pressureFiltered > 0.9) {
+            decision = 3;                  // hypertensive event
+          } else {
+            decision = 0;                  // normal sinus rhythm
+          }
+        }
+      }
+      alarm = decision;
+      SJ.broadcast(alarm);
+      SJ.broadcast(rate);
+    }
+  }
+
+  // The conditioning helpers share the class-default method lattice.
+
+  @RETURNLOC("MOUT")
+  @THISLOC("MTHIS")
+  public float condition(@LOC("MIN") float raw) {
+    @LOC("MTMP") float acc = raw * 0.5;
+    acc = acc + raw * 0.25;
+    acc = acc + raw * 0.25;
+    @LOC("MOUT") float out = acc / 1.0;
+    return out;
+  }
+
+  @RETURNLOC("MOUT")
+  @THISLOC("MTHIS")
+  public float clampSignal(@LOC("MIN") float value) {
+    @LOC("MOUT") float out = Math.max(Math.min(value, 1.0), -1.0);
+    return out;
+  }
+}

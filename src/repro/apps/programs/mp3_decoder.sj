@@ -1,0 +1,123 @@
+// MP3 decoder analog (the JLayer benchmark of Section 6.2.1).
+//
+// Structural port of the JLayer pipeline: a trusted BitStream resyncs to
+// frames and supplies headers, scale factors and quantized samples; each
+// frame carries two granules; per granule the decoder dequantizes the
+// subband samples, applies an IMDCT-style transform, combines the result
+// with the previous granule's block (the one-granule overlap state the
+// paper isolates into a separate forwarding array), and hands the time-
+// domain block to the synthesis filter, whose ordered window buffer
+// (4 granules deep) produces the PCM output samples.
+//
+// Stabilization structure: a corrupted value in the dequantization or
+// transform stages is flushed when the granule's arrays are rewritten;
+// the overlap array carries it one extra granule; the synthesis window
+// buffer carries it up to four granules (two frames) — the analog of the
+// paper's 1,700-sample peak from granule-state corruption.
+
+@TRUSTED
+class BitStream {
+  // Maintains a stream offset and resyncs it at every frame header —
+  // the manually-verified self-stabilizing component of Section 6.1.
+  public int offset;
+
+  public int syncHeader() {
+    offset = 0;
+    return Device.readHeader();
+  }
+
+  public float readScale() {
+    offset = offset + 1;
+    return Device.readScale();
+  }
+
+  public float readSample() {
+    offset = offset + 1;
+    return Device.readSample();
+  }
+}
+
+@LATTICE("FILT<EQ,EQ<TO,TO<PRV,PRV<CUR,CUR<ACCF,ACCF<DQ,DQ<SC,SC<BS,ACCF*")
+public class Mp3Decoder {
+  @LOC("BS") private BitStream bs = new BitStream();
+  @LOC("SC") private float[] scales = new float[8];
+  @LOC("DQ") private float[] dq = new float[8];
+  @LOC("CUR") private float[] cur = new float[8];
+  @LOC("PRV") private float[] prev = new float[8];
+  @LOC("TO") private float[] timeOut = new float[8];
+  @LOC("EQ") private float[] equalized = new float[8];
+  @LOC("FILT") private SynthesisFilter filter = new SynthesisFilter();
+
+  @LATTICE("DT<HDR,HDR<IN")
+  @THISLOC("DT")
+  public void decode() {
+    SSJAVA:
+    while (true) {
+      // resync to the next frame; the header announces the frame
+      @LOC("HDR") int header = bs.syncHeader();
+      // two granules per frame, unrolled like the original decoder
+      decodeGranule();
+      decodeGranule();
+    }
+  }
+
+  @LATTICE("DG<IB,IB<IA,IA*,IB*")
+  @THISLOC("DG")
+  public void decodeGranule() {
+    // 1. scale factor decoding (fresh input each granule)
+    for (@LOC("IA") int s = 0; s < scales.length; s++) {
+      scales[s] = bs.readScale();
+    }
+    // 2. dequantization of the subband samples
+    for (@LOC("IA") int d = 0; d < dq.length; d++) {
+      dq[d] = scales[d] * bs.readSample();
+    }
+    // 3. IMDCT-style frequency-to-time transform
+    for (@LOC("IA") int i = 0; i < cur.length; i++) {
+      @LOC("DG,ACCF") float acc = 0.0;
+      for (@LOC("IB") int j = 0; j < dq.length; j++) {
+        acc = acc + dq[j] * Math.cos(0.19634954 * (2.0 * i + 1.0) * (2.0 * j + 1.0));
+      }
+      cur[i] = acc * 0.25;
+    }
+    // 4. overlap-add with the previous granule's block, then forward the
+    //    current block (the paper's two-array restructuring)
+    for (@LOC("IA") int t = 0; t < timeOut.length; t++) {
+      timeOut[t] = cur[t] * 0.7 + prev[t] * 0.3;
+    }
+    for (@LOC("IA") int p = 0; p < prev.length; p++) {
+      prev[p] = cur[p];
+    }
+    // 5. psychoacoustic equalization: per-band gain shaping
+    for (@LOC("IA") int e = 0; e < equalized.length; e++) {
+      equalized[e] = timeOut[e] * (0.9 + 0.2 * Math.cos(0.39269908 * e));
+    }
+    // 6. subband synthesis: window the block into PCM samples
+    filter.synthesize(equalized);
+  }
+}
+
+@LATTICE("VBUF")
+class SynthesisFilter {
+  @LOC("VBUF") private OrderedBuffer v = new OrderedBuffer(4);
+
+  @LATTICE("SOUT<STHIS,STHIS<STMP,STMP<SI,SI<SIN,STMP*,SI*")
+  @THISLOC("STHIS")
+  public void synthesize(@LOC("SIN") float[] in) {
+    // vector sum of the incoming block
+    @LOC("STMP") float sum = 0.0;
+    for (@LOC("SI") int i = 0; i < in.length; i++) {
+      sum = sum + in[i] * Math.cos(0.39269908 * i);
+    }
+    v.insert(sum);
+    // window the last four granule vectors into 8 PCM samples
+    for (@LOC("SI") int k = 0; k < 8; k++) {
+      @LOC("SOUT") float pcm =
+          v.get(0) * Math.cos(0.09817477 * k)
+        + v.get(1) * Math.cos(0.09817477 * (k + 8))
+        + v.get(2) * Math.cos(0.09817477 * (k + 16))
+        + v.get(3) * Math.cos(0.09817477 * (k + 24));
+      SJ.broadcast(pcm);
+    }
+  }
+}

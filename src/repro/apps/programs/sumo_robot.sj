@@ -1,0 +1,97 @@
+// Sumo robot controller analog (the benchmark of Section 6.2.3).
+//
+// The goal of a sumo robot is to push the opponent out of the ring while
+// staying away from the ring edge.  Each iteration reads the sonar
+// (opponent distance) and line (ring edge) sensors, the strategy manager
+// selects a movement type and a speed, and the command is sent to the
+// trusted motor controller (which persists the last command — the paper
+// annotates it as trusted and makes every iteration overwrite the
+// command arguments).
+//
+// Stabilization structure: the controller is stateless from one
+// iteration to the next, so it resumes correct decisions on the very
+// next iteration after a corruption — matching the paper's observation.
+
+@LATTICE("STR,MOT")
+public class SumoRobot {
+  @LOC("STR") private StrategyMgr strategy = new StrategyMgr();
+  @LOC("MOT") private MotorController motor = new MotorController();
+
+  @LATTICE("SPD<MVV,MVV<RT,RT<SENS")
+  @THISLOC("RT")
+  public void control() {
+    SSJAVA:
+    while (true) {
+      @LOC("SENS") int sonar = Device.readSonar();
+      @LOC("SENS") int line = Device.readLine();
+
+      @LOC("MVV") int move = strategy.selectMove(sonar, line);
+      @LOC("SPD") int speed = strategy.selectSpeed(sonar, line, move);
+
+      motor.send(move, speed);
+      SJ.broadcast(move);
+      SJ.broadcast(speed);
+    }
+  }
+}
+
+// Movement types: 0 = search, 1 = attack, 2 = retreat-from-edge,
+// 3 = spin-in-place.
+class StrategyMgr {
+  @LATTICE("SOUT<SIN,STHIS")
+  @THISLOC("STHIS")
+  @RETURNLOC("SOUT")
+  public int selectMove(@LOC("SIN") int sonar, @LOC("SIN") int line) {
+    @LOC("SOUT") int move;
+    if (line > 10) {
+      move = 2;                 // ring edge detected: retreat first
+    } else {
+      if (sonar < 5) {
+        move = 1;               // opponent close: attack
+      } else {
+        if (sonar < 12) {
+          move = 3;             // opponent near: line up
+        } else {
+          move = 0;             // nothing seen: search
+        }
+      }
+    }
+    return move;
+  }
+
+  @LATTICE("POUT<PMV,PMV<PIN,PTHIS")
+  @THISLOC("PTHIS")
+  @RETURNLOC("POUT")
+  public int selectSpeed(
+      @LOC("PIN") int sonar, @LOC("PIN") int line, @LOC("PMV") int move) {
+    @LOC("POUT") int speed;
+    if (move == 1) {
+      speed = 9;                // full power into the opponent
+    } else {
+      if (move == 2) {
+        speed = 7;              // firm retreat from the edge
+      } else {
+        if (sonar < 12) {
+          speed = 5;            // approach speed
+        } else {
+          speed = 3;            // search speed
+        }
+      }
+    }
+    return speed;
+  }
+}
+
+// The motor controller persists the last command across iterations; the
+// paper annotates it as trusted code because that state is managed by
+// the hardware abstraction, and every iteration overwrites it.
+@TRUSTED
+class MotorController {
+  public int lastMove;
+  public int lastSpeed;
+
+  public void send(int move, int speed) {
+    lastMove = move;
+    lastSpeed = speed;
+  }
+}

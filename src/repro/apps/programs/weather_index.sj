@@ -1,0 +1,52 @@
+// Weather (heat) index calculation — the running example of Chapter 5
+// (Figs. 5.1 and 5.15).
+//
+// Every iteration reads the temperature and humidity, smooths the
+// temperature against the previous reading, and combines the two into a
+// human-perceived temperature index via the standard polynomial.  The
+// annotations mirror the structure SInfer derives: the merge location
+// MID is the meet of avgTemp and curHum, and the f1..f6 temporaries live
+// on the FA/FB chain spliced between the interface locations.
+
+@LATTICE("index<FB,FB<FA,FA<MID,MID<avgTemp,MID<curHum,avgTemp<prevTemp")
+public class Weather {
+  @LOC("prevTemp") public float prevTemp;
+  @LOC("avgTemp") public float avgTemp;
+  @LOC("curHum") public float curHum;
+  @LOC("index") public float index;
+
+  // polynomial coefficients (constants live at the top location)
+  public static final float c1 = -0.22475541;
+  public static final float c2 = -0.00683783;
+  public static final float c3 = -0.05481717;
+  public static final float c4 = 0.00122874;
+  public static final float c5 = 0.00085282;
+  public static final float c6 = -0.00000199;
+  public static final float c7 = -42.379;
+  public static final float c8 = 2.04901523;
+  public static final float c9 = 10.14333127;
+
+  @LATTICE("THIS<INTEMP")
+  @THISLOC("THIS")
+  public void calculateIndex() {
+    SSJAVA:
+    while (true) {
+      @LOC("INTEMP") float inTemp = Device.readTemp();
+      curHum = Device.readHumidity();
+      // smooth the temperature with the previous reading
+      avgTemp = (prevTemp + inTemp) / 2.0;
+      prevTemp = inTemp;
+
+      @LOC("THIS,FA") float f1 = c1 * avgTemp * curHum;
+      @LOC("THIS,FA") float f2 = c2 * avgTemp * avgTemp;
+      @LOC("THIS,FA") float f3 = c3 * curHum * curHum;
+      @LOC("THIS,FB") float f4 = c4 * f2 * curHum;
+      @LOC("THIS,FB") float f5 = c5 * f3 * avgTemp;
+      @LOC("THIS,FB") float f6 = c6 * f1 * f2;
+
+      index = c7 + c8 * avgTemp + c9 * curHum + f1 + f2 + f3 + f4 + f5 + f6;
+
+      SJ.broadcast(index);
+    }
+  }
+}

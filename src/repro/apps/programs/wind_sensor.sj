@@ -1,0 +1,57 @@
+// Wind direction sensor — the running example of Chapter 2 (Fig. 2.1).
+//
+// The event loop reads the current wind direction, keeps the three most
+// recent readings in the WindRec bin, and broadcasts the median-filtered
+// direction.  A corrupted reading is flushed out of the bin within three
+// iterations, so the program self-stabilizes.
+
+@LATTICE("DIR<TMP2,TMP2<TMP,TMP<BIN")
+public class WDSensor {
+  @LOC("BIN") private WindRec bin = new WindRec();
+  @LOC("DIR") private int dir;
+
+  @LATTICE("STR<WDOBJ,WDOBJ<IN")
+  @THISLOC("WDOBJ")
+  public void windDirection() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int inDir = Device.readSensor();
+      // move old wind directions one step down
+      bin.dir2 = bin.dir1;
+      bin.dir1 = bin.dir0;
+      // add a new wind direction
+      bin.dir0 = inDir;
+      @LOC("STR") int outDir = calculate();
+      SJ.broadcast(outDir);
+    }
+  }
+
+  @LATTICE("OUT<CAOBJ")
+  @THISLOC("CAOBJ")
+  @RETURNLOC("OUT")
+  public int calculate() {
+    // median of the last three directions discards a single outlier
+    @LOC("CAOBJ,TMP") int d0 = bin.dir0;
+    @LOC("CAOBJ,TMP") int d1 = bin.dir1;
+    @LOC("CAOBJ,TMP") int d2 = bin.dir2;
+    @LOC("CAOBJ,TMP2") int majorDir;
+    if (d0 > d1 && d0 < d2 || d0 < d1 && d0 > d2) {
+      majorDir = d0;
+    } else {
+      if (d1 > d0 && d1 < d2 || d1 < d0 && d1 > d2) {
+        majorDir = d1;
+      } else {
+        majorDir = d2;
+      }
+    }
+    this.dir = majorDir;
+    return majorDir;
+  }
+}
+
+@LATTICE("DIR2<DIR1,DIR1<DIR0")
+class WindRec {
+  @LOC("DIR0") public int dir0;
+  @LOC("DIR1") public int dir1;
+  @LOC("DIR2") public int dir2;
+}

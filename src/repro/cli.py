@@ -1,0 +1,203 @@
+"""Command-line interface for the SJava reproduction.
+
+Subcommands mirror the workflow of the paper's tool:
+
+* ``repro check FILE``      — run the full self-stabilization checker;
+* ``repro infer FILE``      — infer location annotations (SInfer / naive)
+  and print the annotated program;
+* ``repro run FILE``        — execute the program on synthetic inputs;
+* ``repro inject FILE``     — run fault-injection trials and report
+  recovery distances;
+* ``repro lattices FILE``   — render the program's location lattices.
+
+Installed as ``repro`` (console script) or usable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.checker import SJavaChecker
+from repro.core.environment import LocationWorld
+from repro.core.errors import DiagnosticSink
+from repro.infer import infer_annotations, lattice_metrics
+from repro.infer.render import render_lattice
+from repro.lang import parse_program, resolve_program, typecheck_program
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError
+from repro.lang.symtab import ProgramInfo, ResolveError
+from repro.lang.typecheck import JavaTypeError
+from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
+from repro.runtime.devices import SyntheticDevice
+from repro.runtime.stabilization import recovery_histogram
+
+
+def _load(path: str) -> ProgramInfo:
+    source = Path(path).read_text(encoding="utf-8")
+    program = parse_program(source)
+    info = resolve_program(program)
+    typecheck_program(info)
+    return info
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    info = _load(args.file)
+    report = SJavaChecker(info).run()
+    print(report.format())
+    return 0 if report.self_stabilizing else 1
+
+
+def cmd_infer(args: argparse.Namespace) -> int:
+    info = _load(args.file)
+    result = infer_annotations(info, mode=args.mode, verify=not args.no_verify)
+    if not args.quiet:
+        print(result.annotated_source)
+    summary = result.summary
+    print(
+        f"// inferred {summary.total_locations} locations, "
+        f"{summary.total_paths} top-to-bottom paths, "
+        f"{result.elapsed_seconds:.3f}s",
+        file=sys.stderr,
+    )
+    if result.check_report is not None:
+        verdict = "verified" if result.verified else "REJECTED"
+        print(f"// checker: {verdict}", file=sys.stderr)
+        if not result.verified:
+            print(result.check_report.format(), file=sys.stderr)
+            return 1
+    return 0
+
+
+def _device_factory(args: argparse.Namespace):
+    def factory():
+        return SyntheticDevice(
+            seed=args.seed, limit=args.iterations * 64
+        )
+
+    return factory
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    info = _load(args.file)
+    interp = Interpreter(
+        info,
+        _device_factory(args)(),
+        options=RuntimeOptions(
+            ignore_errors=args.ignore_errors, max_iterations=args.iterations
+        ),
+    )
+    outputs = interp.run()
+    for value in outputs:
+        print(value)
+    print(
+        f"// {interp.iteration} iterations, {len(outputs)} outputs, "
+        f"{len(interp.error_log)} ignored errors",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_inject(args: argparse.Namespace) -> int:
+    info = _load(args.file)
+    experiment = StabilizationExperiment(
+        info,
+        _device_factory(args),
+        options=RuntimeOptions(
+            ignore_errors=True, max_iterations=args.iterations
+        ),
+    )
+    trials = experiment.run_trials(args.trials, seed=args.seed)
+    corrupted = [t for t in trials if t.corrupted_output]
+    recovered = [t for t in corrupted if not t.diverged]
+    print(f"trials: {len(trials)}  corrupted: {len(corrupted)}  "
+          f"diverged: {len(corrupted) - len(recovered)}")
+    histogram = recovery_histogram(recovered, bin_size=args.bin)
+    for bucket, count in histogram.items():
+        print(f"  {bucket:5d}-{bucket + args.bin - 1:5d} samples: {count}")
+    return 0
+
+
+def cmd_lattices(args: argparse.Namespace) -> int:
+    info = _load(args.file)
+    world = LocationWorld(info, DiagnosticSink())
+    items = [
+        (f"class {name}", lattice)
+        for name, lattice in sorted(world.field_lattices.items())
+    ] + [
+        (f"method {key[0]}.{key[1]}", env.lattice)
+        for key, env in sorted(world.method_envs.items())
+    ]
+    for name, lattice in items:
+        if not lattice.user_elements():
+            continue
+        metrics = lattice_metrics(name, lattice)
+        print(f"== {name} ({metrics.locations} locations, "
+              f"{metrics.paths} paths) ==")
+        print(render_lattice(lattice, fmt=args.format))
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Self-Stabilizing Java (PLDI 2012) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="check self-stabilization")
+    check.add_argument("file")
+    check.set_defaults(func=cmd_check)
+
+    infer = sub.add_parser("infer", help="infer location annotations")
+    infer.add_argument("file")
+    infer.add_argument("--mode", choices=("sinfer", "naive"), default="sinfer")
+    infer.add_argument("--no-verify", action="store_true",
+                       help="skip re-checking the inferred annotations")
+    infer.add_argument("--quiet", action="store_true",
+                       help="suppress the annotated source")
+    infer.set_defaults(func=cmd_infer)
+
+    run = sub.add_parser("run", help="execute on synthetic inputs")
+    run.add_argument("file")
+    run.add_argument("--iterations", type=int, default=20)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--ignore-errors", action="store_true",
+                     help="crash-avoidance mode (Section 4.4)")
+    run.set_defaults(func=cmd_run)
+
+    inject = sub.add_parser("inject", help="fault-injection trials")
+    inject.add_argument("file")
+    inject.add_argument("--trials", type=int, default=25)
+    inject.add_argument("--iterations", type=int, default=30)
+    inject.add_argument("--seed", type=int, default=0)
+    inject.add_argument("--bin", type=int, default=8,
+                        help="histogram bin size in output samples")
+    inject.set_defaults(func=cmd_inject)
+
+    lattices = sub.add_parser("lattices", help="render location lattices")
+    lattices.add_argument("file")
+    lattices.add_argument("--format", choices=("ascii", "dot"),
+                          default="ascii")
+    lattices.set_defaults(func=cmd_lattices)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (LexError, ParseError, ResolveError, JavaTypeError) as exc:
+        print(f"front-end error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

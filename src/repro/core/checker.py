@@ -1,0 +1,144 @@
+"""The SJava checker driver.
+
+Runs, in order: the conventional Java-level front end, location
+environment construction, the flow-down type checker, the linear type
+checker, the inheritance checks, the termination analysis, the
+definitely-written (eviction) analysis, and the shared-location
+extension.  The result is a :class:`CheckReport`: a program
+*self-stabilizes* (Theorem 4.5.3) when the report is error-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.environment import LocationWorld
+from repro.core.errors import Check, Diagnostic, DiagnosticSink, Severity
+from repro.core.eviction import EvictionAnalysis, LoopFacts, MethodSummary
+from repro.core.flow_checker import FlowChecker
+from repro.core.inheritance import InheritanceChecker
+from repro.core.linear import LinearTypeChecker
+from repro.core.shared import SharedLocationAnalysis
+from repro.core.termination import TerminationAnalysis
+from repro.lang import ast
+from repro.lang.callgraph import CallGraph, MethodKey, build_call_graph
+from repro.lang.parser import parse_program
+from repro.lang.symtab import ProgramInfo, resolve_program
+from repro.lang.typecheck import typecheck_program
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one program."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    checked_scope: set[MethodKey] = field(default_factory=set)
+    loop_facts: Optional[LoopFacts] = None
+    summaries: dict[MethodKey, MethodSummary] = field(default_factory=dict)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def self_stabilizing(self) -> bool:
+        """True when every check passed: the program provably returns to
+        the correct state within a bounded number of loop iterations."""
+        return not self.errors
+
+    def errors_of(self, check: Check) -> list[Diagnostic]:
+        return [d for d in self.errors if d.check is check]
+
+    def format(self) -> str:
+        if not self.diagnostics:
+            return "self-stabilizing: all checks passed"
+        return "\n".join(str(d) for d in self.diagnostics)
+
+
+class SJavaChecker:
+    """Checks whether a resolved program self-stabilizes."""
+
+    def __init__(self, info: ProgramInfo) -> None:
+        self.info = info
+        self.sink = DiagnosticSink()
+        self.world = LocationWorld(info, self.sink)
+        self.call_graph: CallGraph = build_call_graph(info)
+
+    def run(self) -> CheckReport:
+        report = CheckReport()
+        loop = self._require_event_loop()
+        if loop is None:
+            report.diagnostics = self.sink.diagnostics
+            return report
+
+        flow = FlowChecker(self.info, self.world, self.sink, self.call_graph)
+        scope = flow.check()
+        report.checked_scope = scope
+
+        LinearTypeChecker(self.info, self.world, scope, self.sink).run()
+        InheritanceChecker(self.info, self.world, self.sink).run()
+        TerminationAnalysis(self.info, self.call_graph, scope, self.sink).run()
+
+        trusted = {
+            key
+            for key in self.call_graph.reachable_from(
+                (loop.class_name, loop.method.name)
+            )
+            if (env := self.world.env_of(*key)) is not None and env.trusted
+        }
+        eviction = EvictionAnalysis(
+            self.info,
+            self.call_graph,
+            scope | trusted,
+            flow.facts.via_shared_stmts,
+            self.sink,
+            trusted=trusted,
+        )
+        facts = eviction.run()
+        report.loop_facts = facts
+        report.summaries = eviction.summaries
+        if facts is not None:
+            SharedLocationAnalysis(self.info, self.world, facts, self.sink).run()
+
+        report.diagnostics = self.sink.diagnostics
+        return report
+
+    def _require_event_loop(self):
+        loops = self.info.event_loops
+        if not loops:
+            self.sink.report(
+                Check.STRUCTURE,
+                "no main event loop found: label the loop with SSJAVA:",
+            )
+            return None
+        if len(loops) > 1:
+            names = ", ".join(f"{l.class_name}.{l.method.name}" for l in loops)
+            self.sink.report(
+                Check.STRUCTURE,
+                f"multiple SSJAVA event loops found ({names}); exactly one "
+                "is required",
+            )
+            return None
+        return loops[0]
+
+
+def check_program(source: str) -> CheckReport:
+    """Parse, resolve and check an sjava program for self-stabilization.
+
+    Front-end failures (syntax errors, conventional type errors) raise;
+    SJava check failures are reported in the returned
+    :class:`CheckReport`.
+    """
+    program = parse_program(source)
+    return check_parsed(program)
+
+
+def check_parsed(program: ast.Program) -> CheckReport:
+    info = resolve_program(program)
+    typecheck_program(info)
+    return SJavaChecker(info).run()

@@ -1,0 +1,84 @@
+"""Diagnostics produced by the SJava checker."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+
+class Check(enum.Enum):
+    """Which component of the system produced a diagnostic."""
+
+    ANNOTATION = "annotation"
+    LATTICE = "lattice"
+    FLOW_DOWN = "flow-down"
+    IMPLICIT_FLOW = "implicit-flow"
+    CALL_SITE = "call-site"
+    LINEAR = "linear"
+    EVICTION = "eviction"
+    SHARED = "shared"
+    TERMINATION = "termination"
+    INHERITANCE = "inheritance"
+    STRUCTURE = "structure"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    severity: Severity
+    check: Check
+    message: str
+    line: int = 0
+    col: int = 0
+    context: str = ""  # e.g. "WDSensor.calculate"
+
+    def __str__(self) -> str:
+        where = f"{self.line}:{self.col}" if self.line else "-"
+        ctx = f" [{self.context}]" if self.context else ""
+        return f"{self.severity.value}({self.check.value}) {where}{ctx}: {self.message}"
+
+
+@dataclass
+class DiagnosticSink:
+    """Collects diagnostics during checking."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def report(
+        self,
+        check: Check,
+        message: str,
+        *,
+        node=None,
+        context: str = "",
+        severity: Severity = Severity.ERROR,
+    ) -> None:
+        line = getattr(node, "line", 0) if node is not None else 0
+        col = getattr(node, "col", 0) if node is not None else 0
+        self.diagnostics.append(
+            Diagnostic(severity, check, message, line, col, context)
+        )
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARNING]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors()
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+
+def first_error(sink: DiagnosticSink) -> Optional[Diagnostic]:
+    errors = sink.errors()
+    return errors[0] if errors else None

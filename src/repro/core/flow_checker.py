@@ -1,0 +1,566 @@
+"""The flow-down rule: SJava's location type checking (Section 4.1,
+Fig. 4.1).
+
+The checker walks every method callable from the main event loop and
+verifies that each value flow — explicit (assignments, field/array
+stores, argument passing, returns) and implicit (branch conditions via
+the program-counter location) — moves values from strictly higher to
+strictly lower composite locations, with the shared-location and ⊤
+exceptions of Sections 4.1.8 and 4.1.2.
+
+Method invocations are checked compositionally (Section 4.1.5): the
+caller must reproduce every ordering relation that the callee's declared
+interface (parameters, ``this``, the program counter, the return value)
+imposes, and the rule computes the highest caller location for the
+return value consistent with the callee's constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core import composite as cl
+from repro.core.environment import LocationWorld, MethodLocEnv
+from repro.core.errors import Check, DiagnosticSink
+from repro.core.lattice import NotALatticeError
+from repro.lang import ast
+from repro.lang import types as stypes
+from repro.lang.callgraph import CallGraph, MethodKey, build_call_graph
+from repro.lang.symtab import BuiltinCall, MethodCall, ProgramInfo
+
+
+class FlowFacts:
+    """Byproducts of flow checking consumed by later analyses."""
+
+    def __init__(self) -> None:
+        #: Statements whose destination was written *via a shared location*
+        #: (source not strictly higher).  The shared-location extension of
+        #: the eviction analysis must see such writes as non-clearing.
+        self.via_shared_stmts: set[int] = set()
+
+
+class FlowChecker:
+    """Checks the flow-down rule for every method in the checked scope."""
+
+    def __init__(
+        self,
+        info: ProgramInfo,
+        world: LocationWorld,
+        sink: DiagnosticSink,
+        call_graph: Optional[CallGraph] = None,
+    ) -> None:
+        self.info = info
+        self.world = world
+        self.sink = sink
+        self.call_graph = call_graph or build_call_graph(info)
+        self.facts = FlowFacts()
+
+    def checked_scope(self) -> set[MethodKey]:
+        """Methods reachable from the main event loop, excluding trusted
+        methods (whose bodies are manually verified)."""
+        loop = self.info.event_loop
+        if loop is None:
+            return set()
+        start: MethodKey = (loop.class_name, loop.method.name)
+        scope = self.call_graph.reachable_from(start)
+        return {
+            key
+            for key in scope
+            if (env := self.world.env_of(*key)) is not None and not env.trusted
+        }
+
+    def check(self) -> set[MethodKey]:
+        scope = self.checked_scope()
+        for key in sorted(scope):
+            env = self.world.env_of(*key)
+            if env is not None:
+                _MethodFlowChecker(self, env).check()
+        return scope
+
+
+class _MethodFlowChecker:
+    """Flow-down checking of a single method body."""
+
+    def __init__(self, parent: FlowChecker, env: MethodLocEnv) -> None:
+        self.parent = parent
+        self.info = parent.info
+        self.world = parent.world
+        self.sink = parent.sink
+        self.env = env
+        self.gamma: dict[str, cl.Loc] = {}
+        self._missing: set[str] = set()
+
+    @property
+    def context(self) -> str:
+        return self.env.name
+
+    def report(self, check: Check, message: str, node: ast.Node) -> None:
+        self.sink.report(check, message, node=node, context=self.context)
+
+    # -- entry ------------------------------------------------------------
+
+    def check(self) -> None:
+        for param in self.env.method.params:
+            loc = self.world.param_location(self.env, param)
+            if loc is None:
+                self._missing_annotation(f"parameter {param.name!r}", param)
+            else:
+                self.gamma[param.name] = loc
+        pc = self.world.pc_location(self.env)
+        self.check_stmt(self.env.method.body, pc)
+
+    def _missing_annotation(self, what: str, node: ast.Node) -> None:
+        key = f"{what}@{node.uid}"
+        if key not in self._missing:
+            self._missing.add(key)
+            self.report(
+                Check.ANNOTATION,
+                f"{what} in method {self.context} is reachable from the main "
+                "event loop and needs a location annotation",
+                node,
+            )
+
+    # -- locations of expressions -------------------------------------------
+
+    def loc_of(self, expr: ast.Expr) -> cl.Loc:
+        if isinstance(
+            expr,
+            (ast.IntLit, ast.FloatLit, ast.BoolLit, ast.StringLit, ast.NullLit,
+             ast.New, ast.NewArray),
+        ):
+            # LITERAL rule; fresh objects/arrays are likewise new values.
+            return cl.TOP_LOC
+        if isinstance(expr, ast.VarRef):
+            loc = self.gamma.get(expr.name)
+            if loc is None:
+                self._missing_annotation(f"variable {expr.name!r}", expr)
+                return cl.TOP_LOC
+            return loc
+        if isinstance(expr, ast.ThisRef):
+            this = self.world.this_location(self.env)
+            if this is None:
+                self._missing_annotation("'this' (@THISLOC)", expr)
+                return cl.TOP_LOC
+            return this
+        if isinstance(expr, ast.FieldAccess):
+            return self._loc_of_field_access(expr)
+        if isinstance(expr, ast.ArrayAccess):
+            # ARRAY_VAR: GLB of array and index locations.
+            return self.glb(
+                self.loc_of(expr.array), self.loc_of(expr.index), expr
+            )
+        if isinstance(expr, ast.ArrayLength):
+            # Array lengths are fixed at allocation: reading one conveys
+            # no mutable state, so it types like a constant.
+            return cl.TOP_LOC
+        if isinstance(expr, ast.Unary):
+            return self.loc_of(expr.operand)
+        if isinstance(expr, ast.Binary):
+            # OP rule: GLB of the operand locations.
+            return self.glb(self.loc_of(expr.left), self.loc_of(expr.right), expr)
+        if isinstance(expr, ast.Call):
+            return self.check_call(expr, pc=self._current_pc)
+        raise AssertionError(f"unhandled expression {type(expr).__name__}")
+
+    def glb(self, first: cl.Loc, second: cl.Loc, node: ast.Node) -> cl.Loc:
+        try:
+            return cl.glb(first, second)
+        except NotALatticeError as exc:
+            self.report(
+                Check.LATTICE,
+                f"{exc} — add a greatest-lower-bound location to the lattice",
+                node,
+            )
+            return cl.BOT_LOC
+
+    def _loc_of_field_access(self, expr: ast.FieldAccess) -> cl.Loc:
+        resolved = self.info.field_refs.get(expr.uid)
+        if resolved is None:
+            return cl.TOP_LOC
+        owner, decl = resolved
+        if decl.is_static:
+            if decl.is_final:
+                return cl.TOP_LOC  # constants live at ⊤
+            if self.env.global_loc is not None:
+                return cl.CompositeLocation(
+                    (self.env.global_loc,), (self.env.lattice,)
+                )
+            self.report(
+                Check.FLOW_DOWN,
+                f"non-final static field {decl.name!r} needs a @GLOBALLOC in "
+                f"method {self.context} (SJava treats statics as constants)",
+                expr,
+            )
+            return cl.TOP_LOC
+        base_loc = self.loc_of(expr.obj)
+        if not isinstance(base_loc, cl.CompositeLocation):
+            return base_loc
+        base_type = self.info.expr_types.get(expr.obj.uid)
+        class_name = getattr(base_type, "name", owner)
+        element = self.world.field_element(class_name, decl.name)
+        if element is None:
+            self._missing_annotation(
+                f"field {class_name}.{decl.name}", expr
+            )
+            return base_loc
+        lattice = self.world.field_lattice(class_name)
+        return base_loc.append(element, lattice)
+
+    # -- statements ----------------------------------------------------------
+
+    _current_pc: cl.Loc = cl.TOP_LOC
+
+    def check_stmt(self, stmt: ast.Stmt, pc: cl.Loc) -> None:
+        self._current_pc = pc
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self.check_stmt(child, pc)
+        elif isinstance(stmt, ast.VarDecl):
+            loc = self.world.var_location(self.env, stmt.name)
+            if loc is None:
+                self._missing_annotation(f"variable {stmt.name!r}", stmt)
+                loc = cl.TOP_LOC
+            self.gamma[stmt.name] = loc
+            if stmt.init is not None:
+                init_loc = self.loc_of(stmt.init)
+                if self._is_reference_expr(stmt.init):
+                    self._check_ref_alias(init_loc, loc, pc, stmt, stmt.init)
+                else:
+                    self._check_flow(init_loc, loc, pc, stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt, pc)
+        elif isinstance(stmt, ast.If):
+            inner_pc = self.glb(pc, self.loc_of(stmt.cond), stmt)
+            self.check_stmt(stmt.then_body, inner_pc)
+            if stmt.else_body is not None:
+                self.check_stmt(stmt.else_body, inner_pc)
+        elif isinstance(stmt, ast.While):
+            inner_pc = self.glb(pc, self.loc_of(stmt.cond), stmt)
+            self.check_stmt(stmt.body, inner_pc)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.check_stmt(stmt.init, pc)
+            inner_pc = pc
+            if stmt.cond is not None:
+                inner_pc = self.glb(pc, self.loc_of(stmt.cond), stmt)
+            self.check_stmt(stmt.body, inner_pc)
+            if stmt.update is not None:
+                self.check_stmt(stmt.update, inner_pc)
+            self._current_pc = pc
+        elif isinstance(stmt, ast.Return):
+            self._check_return(stmt, pc)
+        elif isinstance(stmt, ast.ExprStmt):
+            if isinstance(stmt.expr, ast.Call):
+                self.check_call(stmt.expr, pc=pc)
+            else:
+                self.loc_of(stmt.expr)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError(f"unhandled statement {type(stmt).__name__}")
+
+    def _check_assign(self, stmt: ast.Assign, pc: cl.Loc) -> None:
+        target = stmt.target
+        if isinstance(target, ast.ArrayAccess):
+            # ARRAY_ASG: the array must lie below the index value, because
+            # the index influences where values land in the array.
+            array_loc = self.loc_of(target.array)
+            index_loc = self.loc_of(target.index)
+            index_flow = cl.can_flow(index_loc, array_loc)
+            if not index_flow.allowed:
+                self.report(
+                    Check.FLOW_DOWN,
+                    f"array at {array_loc} must be strictly below its index "
+                    f"at {index_loc}",
+                    stmt,
+                )
+            dest_loc = array_loc
+        else:
+            dest_loc = self.loc_of(target)
+        if stmt.op == "=":
+            value_loc = self.loc_of(stmt.value)
+        else:
+            # Compound assignment reads the destination too.
+            value_loc = self.glb(dest_loc, self.loc_of(stmt.value), stmt)
+        # Reference aliasing through local variables requires all aliases
+        # to carry the *same* location type (Section 4.1.6) — a lower
+        # alias could be used to read values written through the higher
+        # one.  Fresh references (⊤ sources: allocations, owned results)
+        # may adopt any location.
+        if isinstance(target, ast.VarRef) and self._is_reference_expr(stmt.value):
+            self._check_ref_alias(value_loc, dest_loc, pc, stmt, stmt.value)
+            return
+        self._check_flow(value_loc, dest_loc, pc, stmt)
+
+    def _check_ref_alias(
+        self,
+        value_loc: cl.Loc,
+        dest_loc: cl.Loc,
+        pc: cl.Loc,
+        node: ast.Node,
+        value: ast.Expr,
+    ) -> None:
+        # Owned references (fresh allocations, null, and method results —
+        # methods may only return owned references, Section 4.1.6) may be
+        # *lowered* when adopted; borrowed references must keep exactly
+        # the location of the reference they alias.
+        owned = isinstance(value, (ast.New, ast.NewArray, ast.NullLit, ast.Call))
+        if not isinstance(value_loc, cl.TopLocType):
+            relation = cl.compare(dest_loc, value_loc)
+            ok = relation is cl.Rel.EQUAL or (
+                owned and relation is cl.Rel.LOWER
+            )
+            if not ok:
+                self.report(
+                    Check.FLOW_DOWN,
+                    f"reference alias at {dest_loc} must have the same "
+                    f"location type as the reference it copies ({value_loc}) "
+                    "— unequal aliases could subvert the flow-down rule "
+                    "(Section 4.1.6)",
+                    node,
+                )
+        pc_judgment = cl.pc_allows(pc, dest_loc)
+        if not pc_judgment.allowed:
+            self.report(
+                Check.IMPLICIT_FLOW,
+                f"aliasing assignment to {dest_loc} under program counter "
+                f"{pc}: {pc_judgment.reason}",
+                node,
+            )
+
+    def _is_reference_expr(self, expr: ast.Expr) -> bool:
+        return isinstance(
+            self.info.expr_types.get(expr.uid),
+            (stypes.ClassT, stypes.ArrayT, stypes.BuiltinClassT),
+        )
+
+    def _check_flow(
+        self, value_loc: cl.Loc, dest_loc: cl.Loc, pc: cl.Loc, node: ast.Node
+    ) -> None:
+        judgment = cl.can_flow(value_loc, dest_loc)
+        if judgment.via_shared:
+            self.parent.facts.via_shared_stmts.add(node.uid)
+        if not judgment.allowed:
+            self.report(
+                Check.FLOW_DOWN,
+                f"illegal value flow {value_loc} → {dest_loc}: "
+                f"{judgment.reason}",
+                node,
+            )
+        pc_judgment = cl.pc_allows(pc, dest_loc)
+        if not pc_judgment.allowed:
+            self.report(
+                Check.IMPLICIT_FLOW,
+                f"assignment to {dest_loc} under program counter {pc} "
+                f"creates an implicit flow: {pc_judgment.reason}",
+                node,
+            )
+
+    def _check_return(self, stmt: ast.Return, pc: cl.Loc) -> None:
+        if stmt.value is None:
+            return
+        value_loc = self.loc_of(stmt.value)
+        declared = self.world.return_location(self.env)
+        if isinstance(declared, cl.BotLocType):
+            return  # no @RETURNLOC: callers assume the worst
+        if not cl.leq(declared, value_loc):
+            self.report(
+                Check.FLOW_DOWN,
+                f"returned value at {value_loc} is below the declared "
+                f"@RETURNLOC {declared}",
+                stmt,
+            )
+
+    # -- method invocation (CALL_SITE, Section 4.1.5) -------------------------
+
+    def check_call(self, call: ast.Call, pc: cl.Loc) -> cl.Loc:
+        target = self.info.call_targets.get(call.uid)
+        if isinstance(target, BuiltinCall):
+            return self._check_builtin_call(call, target, pc)
+        if isinstance(target, MethodCall):
+            return self._check_user_call(call, target, pc)
+        return cl.TOP_LOC
+
+    def _check_builtin_call(
+        self, call: ast.Call, target: BuiltinCall, pc: cl.Loc
+    ) -> cl.Loc:
+        kind = target.sig.kind
+        arg_locs = [self.loc_of(arg) for arg in call.args]
+        if kind == "input":
+            return cl.TOP_LOC
+        if kind == "output":
+            return cl.BOT_LOC  # value leaves the program
+        if kind == "fill":
+            array_loc, value_loc = arg_locs
+            self._check_flow(value_loc, array_loc, pc, call)
+            return cl.BOT_LOC
+        if kind == "buffer-insert":
+            receiver_loc = self.loc_of(call.receiver)
+            self._check_flow(arg_locs[0], receiver_loc, pc, call)
+            return cl.BOT_LOC
+        if kind in ("buffer-get", "buffer-size"):
+            receiver_loc = self.loc_of(call.receiver)
+            return cl.glb_all([receiver_loc] + arg_locs)
+        # pure
+        return cl.glb_all(arg_locs)
+
+    def _check_user_call(
+        self, call: ast.Call, target: MethodCall, pc: cl.Loc
+    ) -> cl.Loc:
+        callee_env = self.world.env_of(target.owner, target.decl.name)
+        if callee_env is None:
+            return cl.TOP_LOC
+        if callee_env.trusted:
+            for arg in call.args:
+                self.loc_of(arg)
+            return cl.TOP_LOC
+
+        receiver_loc: Optional[cl.Loc] = None
+        if not target.decl.is_static:
+            if call.receiver is None or (
+                isinstance(call.receiver, ast.VarRef)
+                and call.receiver.name in self.info.classes
+            ):
+                receiver_loc = (
+                    self.world.this_location(self.env) or cl.TOP_LOC
+                )
+            else:
+                receiver_loc = self.loc_of(call.receiver)
+        arg_locs = [self.loc_of(arg) for arg in call.args]
+
+        # Interface members: (display name, callee-side loc, caller-side loc)
+        members: list[tuple[str, cl.Loc, cl.Loc]] = []
+        if receiver_loc is not None and callee_env.this_loc is not None:
+            callee_this = cl.CompositeLocation(
+                (callee_env.this_loc,), (callee_env.lattice,)
+            )
+            members.append(("this", callee_this, receiver_loc))
+        for param, arg_loc in zip(target.decl.params, arg_locs):
+            callee_loc = self.world.param_location(callee_env, param)
+            if callee_loc is None:
+                continue  # reported when the callee itself is checked
+            members.append((param.name, callee_loc, arg_loc))
+
+        def translate(callee_loc: cl.Loc) -> Optional[cl.Loc]:
+            """Map a callee composite location into the caller's terms."""
+            if not isinstance(callee_loc, cl.CompositeLocation):
+                return None
+            head = callee_loc.elements[0]
+            for name, member_callee, member_caller in members:
+                if not isinstance(member_callee, cl.CompositeLocation):
+                    continue
+                if len(member_callee) == 1 and member_callee.elements[0] == head:
+                    if not isinstance(member_caller, cl.CompositeLocation):
+                        return member_caller if len(callee_loc) == 1 else None
+                    return cl.CompositeLocation(
+                        member_caller.elements + callee_loc.elements[1:],
+                        member_caller.lattices + callee_loc.lattices[1:],
+                    )
+            return None
+
+        # (1) this-relative parameter constraints: an argument for a
+        # parameter located at ⟨THIS, F, ...⟩ must sit at or above the
+        # receiver's ⟨O, F, ...⟩ in the caller (Section 4.1.5).
+        for name, callee_loc, caller_loc in members:
+            if (
+                isinstance(callee_loc, cl.CompositeLocation)
+                and len(callee_loc) > 1
+            ):
+                translated = translate(callee_loc)
+                if translated is not None and not cl.leq(translated, caller_loc):
+                    self.report(
+                        Check.CALL_SITE,
+                        f"argument for {name!r} at {caller_loc} must be at or "
+                        f"above {translated} (callee declares {callee_loc})",
+                        call,
+                    )
+
+        # (2) pairwise ordering constraints between interface members.
+        pc_member = ("pc", self.world.pc_location(callee_env), pc)
+        all_members = members + [pc_member]
+        if isinstance(pc_member[1], cl.TopLocType) and not isinstance(
+            pc, cl.TopLocType
+        ):
+            self.report(
+                Check.IMPLICIT_FLOW,
+                f"method {callee_env.name} has no @PCLOC and therefore cannot "
+                f"be called under the constrained program counter {pc}",
+                call,
+            )
+        for i, (name_i, callee_i, caller_i) in enumerate(all_members):
+            if name_i == "pc":
+                continue  # nothing flows into the program counter
+            for j, (name_j, callee_j, caller_j) in enumerate(all_members):
+                if i == j:
+                    continue
+                relation = cl.compare(callee_i, callee_j)
+                flows_j_to_i = relation is cl.Rel.LOWER or (
+                    relation is cl.Rel.EQUAL
+                    and isinstance(callee_i, cl.CompositeLocation)
+                    and callee_i.is_shared()
+                )
+                if not flows_j_to_i:
+                    continue
+                if name_j == "pc":
+                    # The callee's writes below member i were each checked
+                    # strictly below its PCLOC, so the caller only needs
+                    # its program counter at or above the argument.
+                    if not cl.leq(caller_i, caller_j):
+                        self.report(
+                            Check.IMPLICIT_FLOW,
+                            f"calling {callee_env.name} under program "
+                            f"counter {caller_j} may create implicit flows "
+                            f"into memory reachable from {name_i!r} at "
+                            f"{caller_i}",
+                            call,
+                        )
+                    continue
+                judgment = cl.can_flow(caller_j, caller_i)
+                if not judgment.allowed:
+                    self.report(
+                        Check.CALL_SITE,
+                        f"callee {callee_env.name} may flow {name_j!r} → "
+                        f"{name_i!r} ({callee_j} ⊒ {callee_i}) but the caller "
+                        f"arguments do not permit {caller_j} → {caller_i}",
+                        call,
+                    )
+
+        # (3) the caller-side return location.
+        declared_ret = self.world.return_location(callee_env)
+        if isinstance(declared_ret, cl.TopLocType):
+            return cl.TOP_LOC
+        contributors: list[cl.Loc] = []
+        translated_ret = translate(declared_ret)
+        for name, callee_loc, caller_loc in members:
+            if not cl.leq(declared_ret, callee_loc):
+                continue
+            if translated_ret is not None and self._is_prefix(
+                callee_loc, declared_ret
+            ):
+                continue  # replaced by the finer translated location
+            contributors.append(caller_loc)
+        if translated_ret is not None:
+            contributors.append(translated_ret)
+        if not contributors:
+            return cl.TOP_LOC
+        try:
+            return cl.glb_all(contributors)
+        except NotALatticeError as exc:
+            self.report(Check.LATTICE, str(exc), call)
+            return cl.BOT_LOC
+
+    @staticmethod
+    def _is_prefix(shorter: cl.Loc, longer: cl.Loc) -> bool:
+        if not (
+            isinstance(shorter, cl.CompositeLocation)
+            and isinstance(longer, cl.CompositeLocation)
+        ):
+            return False
+        if len(shorter) > len(longer):
+            return False
+        return all(
+            a == b and la is lb
+            for a, la, b, lb in zip(
+                shorter.elements, shorter.lattices, longer.elements, longer.lattices
+            )
+        )

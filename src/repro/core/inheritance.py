@@ -1,0 +1,117 @@
+"""Inheritance checks (Section 3.5).
+
+A subclass must preserve the ordering hierarchy of its parent: every
+location of the parent's field lattice must appear in the subclass's
+hierarchy with the same orderings (realized by the lattice merge in
+:class:`repro.core.environment.LocationWorld`; contradictions surface as
+cycles there), and the subclass must not introduce *new* orderings
+between locations the parent declared but left unordered — otherwise a
+cast to the parent type could subvert the parent's flow constraints.
+
+Overridden methods must declare identical interface locations (lattice
+relations among parameters, ``this``, the return value and the program
+counter), because call sites are checked against the static target.
+"""
+
+from __future__ import annotations
+
+from repro.core.environment import LocationWorld
+from repro.core.errors import Check, DiagnosticSink
+from repro.lang import ast
+from repro.lang.symtab import ProgramInfo
+
+
+class InheritanceChecker:
+    def __init__(
+        self, info: ProgramInfo, world: LocationWorld, sink: DiagnosticSink
+    ) -> None:
+        self.info = info
+        self.world = world
+        self.sink = sink
+
+    def run(self) -> None:
+        for cls in self.info.program.classes:
+            if cls.superclass is not None:
+                self._check_field_hierarchy(cls)
+                self._check_overrides(cls)
+
+    def _check_field_hierarchy(self, cls: ast.ClassDecl) -> None:
+        parent = cls.superclass
+        assert parent is not None
+        parent_lattice = self.world.field_lattice(parent)
+        child_lattice = self.world.field_lattice(cls.name)
+        # The merge in LocationWorld guarantees inclusion; check that the
+        # child adds no ordering between locations the parent declared as
+        # unordered (value flows allowed by the subclass must equal the
+        # parent's for inherited locations).
+        parent_elements = parent_lattice.user_elements()
+        for low in sorted(parent_elements):
+            for high in sorted(parent_elements):
+                if low == high:
+                    continue
+                if child_lattice.lt(low, high) and not parent_lattice.lt(low, high):
+                    self.sink.report(
+                        Check.INHERITANCE,
+                        f"class {cls.name!r} orders inherited locations "
+                        f"{low} < {high}, which the parent {parent!r} leaves "
+                        "unordered; a view through the parent type could "
+                        "subvert the constraint",
+                        node=cls,
+                        context=cls.name,
+                    )
+
+    def _check_overrides(self, cls: ast.ClassDecl) -> None:
+        parent = cls.superclass
+        assert parent is not None
+        for method in cls.methods:
+            found = self.info.find_method(parent, method.name)
+            if found is None:
+                continue
+            owner, parent_decl = found
+            child_env = self.world.env_of(cls.name, method.name)
+            parent_env = self.world.env_of(owner, parent_decl.name)
+            if child_env is None or parent_env is None:
+                continue
+            context = f"{cls.name}.{method.name}"
+            if len(parent_decl.params) != len(method.params):
+                continue  # conventional typing reports the arity mismatch
+
+            pairs = [
+                ("@THISLOC", child_env.this_loc, parent_env.this_loc),
+                ("@RETURNLOC", child_env.return_spec, parent_env.return_spec),
+                ("@PCLOC", child_env.pc_spec, parent_env.pc_spec),
+            ]
+            for child_param, parent_param in zip(method.params, parent_decl.params):
+                pairs.append(
+                    (
+                        f"parameter {child_param.name!r}",
+                        child_env.param_specs.get(child_param.name),
+                        parent_env.param_specs.get(parent_param.name),
+                    )
+                )
+            for what, child_spec, parent_spec in pairs:
+                if _spec_repr(child_spec) != _spec_repr(parent_spec):
+                    self.sink.report(
+                        Check.INHERITANCE,
+                        f"override of {owner}.{method.name} must declare the "
+                        f"same location for {what} as the parent "
+                        f"({_spec_repr(parent_spec)!r} vs "
+                        f"{_spec_repr(child_spec)!r})",
+                        node=method,
+                        context=context,
+                    )
+            child_edges = set(child_env.lattice.direct_edges())
+            parent_edges = set(parent_env.lattice.direct_edges())
+            if not parent_edges <= child_edges:
+                missing = sorted(parent_edges - child_edges)
+                self.sink.report(
+                    Check.INHERITANCE,
+                    f"override of {owner}.{method.name} drops method-lattice "
+                    f"orderings declared by the parent: {missing}",
+                    node=method,
+                    context=context,
+                )
+
+
+def _spec_repr(spec) -> str:
+    return "" if spec is None else str(spec)

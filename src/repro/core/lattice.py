@@ -1,0 +1,261 @@
+"""Location lattices (Section 3.2).
+
+A :class:`Lattice` is the ordered set of location types declared by one
+``@LATTICE`` annotation (one per method, one per class), always extended
+with the distinguished top and bottom locations.  The binary relation is
+stored as direct "lower-than" edges; the strict partial order is the
+transitive closure.
+
+Conventions: ``lt(a, b)`` means *a is strictly lower than b*, i.e. values
+may flow from ``b`` to ``a`` (the paper's ``a < b`` / ``a ⊏ b``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+#: Reserved names for the distinguished extreme locations.  They use
+#: characters that cannot appear in annotation identifiers so user
+#: locations can never collide with them.
+TOP = "<TOP>"
+BOTTOM = "<BOT>"
+
+
+class LatticeError(Exception):
+    """A structural problem with a lattice (cycle, unknown element, ...)."""
+
+
+class NotALatticeError(LatticeError):
+    """GLB/LUB is not uniquely defined for the queried pair.
+
+    Manual ``@LATTICE`` declarations are only required to be partial
+    orders syntactically; the checker reports this error with a
+    suggestion to add a completion node (inferred lattices are complete
+    by construction via Dedekind–MacNeille).
+    """
+
+    def __init__(self, kind: str, first: str, second: str, candidates: set[str]):
+        super().__init__(
+            f"no unique {kind} of {first!r} and {second!r}; "
+            f"maximal candidates: {sorted(candidates)}"
+        )
+        self.kind = kind
+        self.pair = (first, second)
+        self.candidates = candidates
+
+
+class Lattice:
+    """A finite location lattice with named elements.
+
+    ``name`` identifies the lattice for diagnostics (e.g. ``"class Foo"``
+    or ``"method Foo.bar"``).
+    """
+
+    def __init__(
+        self,
+        name: str = "",
+        pairs: Iterable[tuple[str, str]] = (),
+        shared: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self._elements: set[str] = {TOP, BOTTOM}
+        #: direct edges: _lower_than[x] = set of elements x is declared below
+        self._direct_above: dict[str, set[str]] = {TOP: set(), BOTTOM: set()}
+        self._shared: set[str] = set()
+        self._closure: Optional[dict[str, set[str]]] = None
+        for low, high in pairs:
+            self.add_ordering(low, high)
+        for element in shared:
+            self.add_shared(element)
+
+    # -- construction ---------------------------------------------------
+
+    def add_element(self, element: str) -> None:
+        if element not in self._elements:
+            self._elements.add(element)
+            self._direct_above[element] = set()
+            self._closure = None
+
+    def add_ordering(self, lower: str, higher: str) -> None:
+        """Declare ``lower < higher`` (the annotation form ``lower<higher``)."""
+        if lower == higher:
+            raise LatticeError(
+                f"{self.name}: location {lower!r} cannot be ordered below itself"
+            )
+        self.add_element(lower)
+        self.add_element(higher)
+        self._direct_above[lower].add(higher)
+        self._closure = None
+
+    def add_shared(self, element: str) -> None:
+        self.add_element(element)
+        self._shared.add(element)
+
+    def insert_below(self, fresh: str, existing: str) -> None:
+        """Insert ``fresh`` immediately below ``existing``: lower than
+        ``existing`` and higher than everything strictly below it.
+
+        This implements the paper's *delta* function (Section 4.1.7).
+        """
+        if existing not in self._elements:
+            raise LatticeError(
+                f"{self.name}: cannot insert below unknown location {existing!r}"
+            )
+        below = [e for e in self._elements
+                 if e not in (fresh, BOTTOM) and self.lt(e, existing)]
+        self.add_element(fresh)
+        self.add_ordering(fresh, existing)
+        for element in below:
+            self.add_ordering(element, fresh)
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def elements(self) -> frozenset[str]:
+        return frozenset(self._elements)
+
+    def user_elements(self) -> frozenset[str]:
+        """Elements excluding the distinguished top and bottom."""
+        return frozenset(self._elements - {TOP, BOTTOM})
+
+    def __contains__(self, element: str) -> bool:
+        return element in self._elements
+
+    def is_shared(self, element: str) -> bool:
+        return element in self._shared
+
+    @property
+    def shared_elements(self) -> frozenset[str]:
+        return frozenset(self._shared)
+
+    def _strictly_above(self) -> dict[str, set[str]]:
+        """Transitive closure: element -> all elements strictly above it.
+
+        Raises :class:`LatticeError` if the declared ordering is cyclic.
+        """
+        if self._closure is not None:
+            return self._closure
+        above: dict[str, set[str]] = {}
+
+        def reach(node: str, stack: list[str]) -> set[str]:
+            if node in above:
+                return above[node]
+            if node in stack:
+                cycle = stack[stack.index(node):] + [node]
+                raise LatticeError(
+                    f"{self.name}: cyclic ordering {' < '.join(cycle)}"
+                )
+            stack.append(node)
+            result: set[str] = set()
+            for higher in self._direct_above[node]:
+                result.add(higher)
+                result |= reach(higher, stack)
+            stack.pop()
+            above[node] = result
+            return result
+
+        for element in sorted(self._elements):
+            reach(element, [])
+        # Everything except TOP is below TOP; BOTTOM is below everything.
+        for element in self._elements:
+            if element != TOP:
+                above[element].add(TOP)
+        above[BOTTOM] |= self._elements - {BOTTOM}
+        above[TOP].discard(TOP)
+        self._closure = above
+        return above
+
+    def validate(self) -> None:
+        """Raise :class:`LatticeError` if the declared ordering is cyclic."""
+        self._strictly_above()
+
+    def lt(self, low: str, high: str) -> bool:
+        """Strict ordering: ``low ⊏ high``."""
+        self._require(low)
+        self._require(high)
+        return high in self._strictly_above()[low]
+
+    def leq(self, low: str, high: str) -> bool:
+        """Reflexive ordering: ``low ⊑ high``."""
+        return low == high or self.lt(low, high)
+
+    def comparable(self, first: str, second: str) -> bool:
+        return first == second or self.lt(first, second) or self.lt(second, first)
+
+    def _require(self, element: str) -> None:
+        if element not in self._elements:
+            raise LatticeError(f"{self.name}: unknown location {element!r}")
+
+    def _maximal(self, candidates: set[str]) -> set[str]:
+        return {
+            c
+            for c in candidates
+            if not any(other != c and self.lt(c, other) for other in candidates)
+        }
+
+    def _minimal(self, candidates: set[str]) -> set[str]:
+        return {
+            c
+            for c in candidates
+            if not any(other != c and self.lt(other, c) for other in candidates)
+        }
+
+    def glb(self, first: str, second: str) -> str:
+        """Greatest lower bound (the meet operator ⊓)."""
+        self._require(first)
+        self._require(second)
+        if self.leq(first, second):
+            return first
+        if self.leq(second, first):
+            return second
+        lower = {
+            e
+            for e in self._elements
+            if self.leq(e, first) and self.leq(e, second)
+        }
+        maximal = self._maximal(lower)
+        if len(maximal) != 1:
+            raise NotALatticeError("greatest lower bound", first, second, maximal)
+        return next(iter(maximal))
+
+    def lub(self, first: str, second: str) -> str:
+        """Least upper bound (the join operator ⊔)."""
+        self._require(first)
+        self._require(second)
+        if self.leq(first, second):
+            return second
+        if self.leq(second, first):
+            return first
+        upper = {
+            e
+            for e in self._elements
+            if self.leq(first, e) and self.leq(second, e)
+        }
+        minimal = self._minimal(upper)
+        if len(minimal) != 1:
+            raise NotALatticeError("least upper bound", first, second, minimal)
+        return next(iter(minimal))
+
+    def height(self) -> int:
+        """Number of elements on the longest chain from TOP to BOTTOM."""
+        above = self._strictly_above()
+        # If a is above b then above[a] ⊂ above[b], so sorting by the size
+        # of the above-set processes higher elements first.
+        depth: dict[str, int] = {}
+        for element in sorted(self._elements, key=lambda e: len(above[e])):
+            higher = above[element]
+            depth[element] = 1 + max((depth[h] for h in higher), default=-1)
+        return depth[BOTTOM] + 1
+
+    def direct_edges(self) -> list[tuple[str, str]]:
+        """All declared (lower, higher) pairs.  TOP and BOTTOM never appear
+        because their names are unusable in annotations."""
+        return [
+            (low, high)
+            for low, highs in self._direct_above.items()
+            for high in highs
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        edges = ", ".join(f"{a}<{b}" for a, b in sorted(self.direct_edges()))
+        return f"Lattice({self.name!r}, {edges})"

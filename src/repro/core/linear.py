@@ -1,0 +1,271 @@
+"""Linear types: alias restriction and ownership transfer (Section 4.1.6).
+
+Unrestricted aliasing could subvert the flow-down rule: two references to
+one object at different locations would let values climb the lattice.
+SJava therefore keeps the event-loop heap a *forest* — at most one heap
+reference per object — and allows only limited, same-location aliasing
+through local variables.
+
+The per-method discipline implemented here tracks an ownership state for
+every reference-typed variable:
+
+* ``OWNED`` — the variable holds the unique reference (fresh allocation,
+  ``@DELEGATE`` parameter, or a method-call result: methods may only
+  return owned references);
+* ``ALIAS`` — the variable borrows a reference that the heap (or another
+  scope) owns: heap loads, ordinary parameters, and variable copies;
+* ``CONSUMED`` — ownership has been surrendered (stored into the heap or
+  delegated to a callee); any further use is an error.
+
+Heap stores (``x.f = y``) and arguments to ``@DELEGATE`` parameters
+require ``OWNED`` and consume it.  Storing a heap-loaded reference into
+the heap would create a second heap reference and is rejected.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+from repro.core.environment import LocationWorld, MethodLocEnv
+from repro.core.errors import Check, DiagnosticSink
+from repro.lang import ast
+from repro.lang import types as stypes
+from repro.lang.callgraph import MethodKey
+from repro.lang.symtab import BuiltinCall, MethodCall, ProgramInfo
+
+
+class Own(enum.Enum):
+    OWNED = "owned"
+    ALIAS = "alias"
+    CONSUMED = "consumed"
+
+
+def _meet(first: Own, second: Own) -> Own:
+    order = {Own.OWNED: 0, Own.ALIAS: 1, Own.CONSUMED: 2}
+    return first if order[first] >= order[second] else second
+
+
+class LinearTypeChecker:
+    """Checks the alias/ownership discipline for every method in scope."""
+
+    def __init__(
+        self,
+        info: ProgramInfo,
+        world: LocationWorld,
+        scope: set[MethodKey],
+        sink: DiagnosticSink,
+    ) -> None:
+        self.info = info
+        self.world = world
+        self.scope = scope
+        self.sink = sink
+
+    def run(self) -> None:
+        for key in sorted(self.scope):
+            env = self.world.env_of(*key)
+            if env is None or env.trusted:
+                continue
+            _MethodLinearChecker(self, env).check()
+
+
+class _MethodLinearChecker:
+    def __init__(self, parent: LinearTypeChecker, env: MethodLocEnv) -> None:
+        self.parent = parent
+        self.info = parent.info
+        self.sink = parent.sink
+        self.env = env
+        self.states: dict[str, Own] = {}
+
+    def report(self, message: str, node: ast.Node) -> None:
+        self.sink.report(
+            Check.LINEAR, message, node=node, context=self.env.name
+        )
+
+    def _is_ref(self, expr: ast.Expr) -> bool:
+        return isinstance(
+            self.info.expr_types.get(expr.uid),
+            (stypes.ClassT, stypes.ArrayT, stypes.BuiltinClassT),
+        )
+
+    def _is_ref_type(self, node: ast.TypeNode) -> bool:
+        return isinstance(node, (ast.ClassType, ast.ArrayType))
+
+    def check(self) -> None:
+        for param in self.env.method.params:
+            if self._is_ref_type(param.decl_type):
+                owned = param.name in self.env.delegated
+                self.states[param.name] = Own.OWNED if owned else Own.ALIAS
+        self.check_stmt(self.env.method.body)
+
+    # -- expression ownership -------------------------------------------------
+
+    def value_state(self, expr: ast.Expr) -> Optional[Own]:
+        """Ownership state of a reference-valued expression (None for
+        non-references), also flagging uses of consumed variables."""
+        if not self._is_ref(expr):
+            self.walk_uses(expr)
+            return None
+        if isinstance(expr, ast.VarRef):
+            state = self.states.get(expr.name, Own.ALIAS)
+            if state is Own.CONSUMED:
+                self.report(
+                    f"variable {expr.name!r} is used after its ownership was "
+                    "transferred",
+                    expr,
+                )
+            return state
+        if isinstance(expr, (ast.New, ast.NewArray)):
+            for child in ast.iter_child_exprs(expr):
+                self.walk_uses(child)
+            return Own.OWNED
+        if isinstance(expr, ast.FieldAccess):
+            self.walk_uses(expr.obj)
+            return Own.ALIAS  # borrowed from the heap
+        if isinstance(expr, ast.ThisRef):
+            return Own.ALIAS
+        if isinstance(expr, ast.Call):
+            self.check_call(expr)
+            return Own.OWNED  # methods may only return owned references
+        if isinstance(expr, ast.NullLit):
+            return Own.OWNED  # null carries no object
+        self.walk_uses(expr)
+        return Own.ALIAS
+
+    def walk_uses(self, expr: ast.Expr) -> None:
+        """Flag reads of consumed variables inside arbitrary expressions."""
+        if isinstance(expr, ast.VarRef):
+            if self.states.get(expr.name) is Own.CONSUMED:
+                self.report(
+                    f"variable {expr.name!r} is used after its ownership was "
+                    "transferred",
+                    expr,
+                )
+            return
+        if isinstance(expr, ast.Call):
+            self.check_call(expr)
+            return
+        for child in ast.iter_child_exprs(expr):
+            self.walk_uses(child)
+
+    # -- statements --------------------------------------------------------------
+
+    def check_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.stmts:
+                self.check_stmt(child)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.init is not None:
+                state = self.value_state(stmt.init)
+                if self._is_ref_type(stmt.decl_type):
+                    self._bind_var(stmt.name, stmt.init, state)
+        elif isinstance(stmt, ast.Assign):
+            self._check_assign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.walk_uses(stmt.cond)
+            before = dict(self.states)
+            self.check_stmt(stmt.then_body)
+            then_states = self.states
+            self.states = dict(before)
+            if stmt.else_body is not None:
+                self.check_stmt(stmt.else_body)
+            self._merge(then_states)
+        elif isinstance(stmt, ast.While):
+            self.walk_uses(stmt.cond)
+            before = dict(self.states)
+            self.check_stmt(stmt.body)
+            self._merge(before)
+        elif isinstance(stmt, ast.For):
+            if stmt.init is not None:
+                self.check_stmt(stmt.init)
+            if stmt.cond is not None:
+                self.walk_uses(stmt.cond)
+            before = dict(self.states)
+            self.check_stmt(stmt.body)
+            if stmt.update is not None:
+                self.check_stmt(stmt.update)
+            self._merge(before)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None and self._is_ref(stmt.value):
+                state = self.value_state(stmt.value)
+                if state is Own.ALIAS:
+                    self.report(
+                        "methods may only return owned references "
+                        "(Section 4.1.6)",
+                        stmt,
+                    )
+            elif stmt.value is not None:
+                self.walk_uses(stmt.value)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.walk_uses(stmt.expr)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+
+    def _merge(self, other: dict[str, Own]) -> None:
+        for name, state in other.items():
+            self.states[name] = _meet(self.states.get(name, state), state)
+
+    def _bind_var(
+        self, name: str, value: ast.Expr, state: Optional[Own]
+    ) -> None:
+        self.states[name] = state if state is not None else Own.ALIAS
+        # Copying a variable creates an alias: neither copy is uniquely
+        # owned afterwards.
+        if isinstance(value, ast.VarRef):
+            self.states[name] = Own.ALIAS
+            if self.states.get(value.name) is Own.OWNED:
+                self.states[value.name] = Own.ALIAS
+
+    def _check_assign(self, stmt: ast.Assign) -> None:
+        if isinstance(stmt.target, ast.VarRef) and self._is_ref(stmt.target):
+            state = self.value_state(stmt.value)
+            self._bind_var(stmt.target.name, stmt.value, state)
+            return
+        if isinstance(stmt.target, ast.FieldAccess) and self._is_ref(stmt.target):
+            self.walk_uses(stmt.target.obj)
+            state = self.value_state(stmt.value)
+            if state is Own.ALIAS:
+                self.report(
+                    "storing a borrowed reference into the heap would create "
+                    "a second heap reference to the same object (the heap "
+                    "must remain a forest)",
+                    stmt,
+                )
+            elif state is Own.OWNED and isinstance(stmt.value, ast.VarRef):
+                self.states[stmt.value.name] = Own.CONSUMED
+            return
+        # Primitive or array-element assignment: just scan for uses.
+        if isinstance(stmt.target, (ast.FieldAccess, ast.ArrayAccess)):
+            for child in ast.iter_child_exprs(stmt.target):
+                self.walk_uses(child)
+        self.walk_uses(stmt.value)
+
+    # -- calls --------------------------------------------------------------------
+
+    def check_call(self, call: ast.Call) -> None:
+        target = self.info.call_targets.get(call.uid)
+        if call.receiver is not None and not (
+            isinstance(call.receiver, ast.VarRef)
+            and call.receiver.name in self.info.classes
+        ):
+            self.walk_uses(call.receiver)
+        if isinstance(target, BuiltinCall) or target is None:
+            for arg in call.args:
+                self.walk_uses(arg)
+            return
+        assert isinstance(target, MethodCall)
+        callee_env = self.parent.world.env_of(target.owner, target.decl.name)
+        delegated = callee_env.delegated if callee_env is not None else frozenset()
+        for param, arg in zip(target.decl.params, call.args):
+            if param.name in delegated and self._is_ref(arg):
+                state = self.value_state(arg)
+                if state is Own.ALIAS:
+                    self.report(
+                        f"argument for @DELEGATE parameter {param.name!r} "
+                        "must be an owned (unaliased) reference",
+                        arg,
+                    )
+                elif state is Own.OWNED and isinstance(arg, ast.VarRef):
+                    self.states[arg.name] = Own.CONSUMED
+            else:
+                self.walk_uses(arg)

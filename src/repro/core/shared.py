@@ -1,0 +1,144 @@
+"""Shared-location extension of the eviction analysis (Section 4.2.2).
+
+Shared locations (declared ``name*`` in a ``@LATTICE``) permit flows
+between memory locations at the *same* composite location — but the
+program must not shuffle corrupt values among them forever.  The check:
+every memory location belonging to a shared group that is written at all
+inside the event loop must be *cleared* — overwritten with a value from a
+strictly higher location — at least once per iteration, and this must
+happen for the whole group (simultaneously at statement granularity).
+
+Group membership is enumerated statically from the annotations:
+
+* local variables of the event-loop method whose location's final element
+  is shared;
+* fields whose field-lattice element is shared (array-typed fields count
+  as their element sets, matched with the ``[]`` path marker).
+
+The clearing evidence comes from the eviction analysis: ``WT_h`` at the
+loop back edge — must-writes whose flow-checker judgment was
+"strictly higher source" rather than "via shared".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.composite import CompositeLocation
+from repro.core.environment import LocationWorld
+from repro.core.errors import Check, DiagnosticSink
+from repro.core.eviction import ELEMENT, LoopFacts, Path, VAR_PREFIX, covered
+from repro.lang import ast
+from repro.lang.symtab import ProgramInfo
+
+
+@dataclass(frozen=True)
+class SharedMember:
+    """One memory location belonging to a shared group."""
+
+    kind: str  # 'var' | 'field' | 'array-field'
+    name: str
+    class_name: str = ""
+
+    def describe(self) -> str:
+        if self.kind == "var":
+            return f"variable {self.name!r}"
+        return f"field {self.class_name}.{self.name}"
+
+
+class SharedLocationAnalysis:
+    def __init__(
+        self,
+        info: ProgramInfo,
+        world: LocationWorld,
+        facts: LoopFacts,
+        sink: DiagnosticSink,
+    ) -> None:
+        self.info = info
+        self.world = world
+        self.facts = facts
+        self.sink = sink
+
+    def run(self) -> None:
+        for group_name, members in sorted(self._groups().items()):
+            self._check_group(group_name, members)
+
+    # -- membership ---------------------------------------------------------
+
+    def _groups(self) -> dict[str, list[SharedMember]]:
+        groups: dict[str, list[SharedMember]] = {}
+
+        # Fields with shared lattice elements.
+        for cls in self.info.program.classes:
+            lattice = self.world.field_lattice(cls.name)
+            for fld in cls.fields:
+                element = self.world.field_locs.get((cls.name, fld.name))
+                if element is None or not lattice.is_shared(element):
+                    continue
+                kind = (
+                    "array-field"
+                    if isinstance(fld.decl_type, ast.ArrayType)
+                    else "field"
+                )
+                key = f"{cls.name}::{element}"
+                groups.setdefault(key, []).append(
+                    SharedMember(kind, fld.name, cls.name)
+                )
+
+        # Event-loop method local variables with shared locations.
+        loop = self.info.event_loop
+        if loop is not None:
+            env = self.world.env_of(loop.class_name, loop.method.name)
+            if env is not None:
+                for var_name in sorted(env.var_specs):
+                    loc = self.world.var_location(env, var_name)
+                    if isinstance(loc, CompositeLocation) and loc.is_shared():
+                        key = f"{env.name}::{','.join(loc.elements)}"
+                        groups.setdefault(key, []).append(
+                            SharedMember("var", var_name)
+                        )
+        return groups
+
+    # -- checking ------------------------------------------------------------
+
+    def _member_paths(self, member: SharedMember, paths: set[Path]) -> list[Path]:
+        if member.kind == "var":
+            needle: Path = (VAR_PREFIX + member.name,)
+            return [p for p in paths if p == needle]
+        matches = []
+        for path in paths:
+            if member.kind == "field" and path and path[-1] == member.name:
+                matches.append(path)
+            elif (
+                member.kind == "array-field"
+                and len(path) >= 2
+                and path[-1] == ELEMENT
+                and path[-2] == member.name
+            ):
+                matches.append(path)
+        return matches
+
+    def _check_group(self, group_name: str, members: list[SharedMember]) -> None:
+        written = {
+            member.name: self._member_paths(member, self.facts.may_writes)
+            for member in members
+        }
+        if not any(written.values()):
+            return  # the group is never written inside the loop
+        for member in members:
+            paths = written[member.name]
+            if not paths:
+                continue  # this member is loop invariant
+            cleared = all(
+                covered(path, self.facts.must_writes_higher_end)
+                for path in paths
+            )
+            if not cleared:
+                self.sink.report(
+                    Check.SHARED,
+                    f"shared location group {group_name}: {member.describe()} "
+                    "is written inside the event loop but is not overwritten "
+                    "from a strictly higher location on every iteration — "
+                    "corrupt values could circulate in the shared group "
+                    "indefinitely",
+                )

@@ -1,0 +1,97 @@
+"""Dedekind–MacNeille completion (Section 5.2.6).
+
+The hierarchy graphs are partial orders but not necessarily lattices:
+the GLB/LUB of two elements may be undefined.  The completion embeds the
+poset into the smallest complete lattice containing it, following the
+lazy variant of the Nourine–Raynaud construction: the completion's
+elements are the closure under intersection of the principal down-sets
+(a Moore family), which, together with the ambient top, is closed under
+arbitrary meets — so every GLB and LUB is well defined.
+
+Synthesized elements (intersections that equal no principal ideal) are
+named ``GLB#`` — the paper's ``Loc4``/``Loc20`` nodes in Figs. 5.9/5.15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.lattice import Lattice
+from repro.infer.hierarchy import HierarchyGraph
+
+
+@dataclass
+class CompletedLattice:
+    """A completed lattice plus the mapping from hierarchy elements
+    (canonical names) to lattice element names."""
+
+    lattice: Lattice
+    element_of: dict[str, str] = field(default_factory=dict)
+    synthesized: list[str] = field(default_factory=list)
+
+
+def complete(graph: HierarchyGraph, name: str) -> CompletedLattice:
+    """Dedekind–MacNeille completion of a hierarchy graph."""
+    elements = sorted(graph.elements())
+    above = {e: graph.above(e) for e in elements}
+
+    # principal down-sets: down(x) = {y : y <= x}
+    down: dict[str, frozenset[str]] = {}
+    for element in elements:
+        down[element] = frozenset(
+            {element} | {y for y in elements if element in above[y]}
+        )
+
+    # close the family of principal ideals under intersection
+    family: set[frozenset[str]] = set(down.values())
+    worklist = sorted(family, key=sorted)
+    while worklist:
+        current = worklist.pop()
+        for other in list(family):
+            meet = current & other
+            if meet and meet not in family:
+                family.add(meet)
+                worklist.append(meet)
+
+    principal = {ideal: element for element, ideal in down.items()}
+    # A merged hierarchy element may share its ideal with nothing else;
+    # if two *different* elements had equal ideals they were equal in the
+    # order — the union-find collapsed them already, so `principal` is
+    # well defined.
+
+    lattice = Lattice(name=name)
+    names: dict[frozenset[str], str] = {}
+    counter = 0
+    synthesized: list[str] = []
+    for ideal in sorted(family, key=lambda s: (len(s), sorted(s))):
+        if ideal in principal:
+            names[ideal] = principal[ideal]
+        else:
+            counter += 1
+            fresh = f"GLB{counter}"
+            names[ideal] = fresh
+            synthesized.append(fresh)
+        lattice.add_element(names[ideal])
+
+    ordered = sorted(family, key=len)
+    for i, smaller in enumerate(ordered):
+        for larger in ordered[i + 1:]:
+            if smaller < larger and _is_cover(smaller, larger, family):
+                lattice.add_ordering(names[smaller], names[larger])
+
+    for shared in graph.shared_elements():
+        lattice.add_shared(shared)
+
+    element_of = {e: e for e in elements}
+    return CompletedLattice(
+        lattice=lattice, element_of=element_of, synthesized=synthesized
+    )
+
+
+def _is_cover(
+    smaller: frozenset[str], larger: frozenset[str], family: set[frozenset[str]]
+) -> bool:
+    for middle in family:
+        if smaller < middle < larger:
+            return False
+    return True

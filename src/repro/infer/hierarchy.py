@@ -1,0 +1,244 @@
+"""Hierarchy graphs: decomposing value flow graphs into per-method and
+per-class orderings (Section 5.2.5).
+
+Each value-flow edge is classified by the first position where its two
+composite nodes differ: position 0 is a **method flow** (an edge in the
+method hierarchy graph), any later position is a **field flow** (an edge
+in the field hierarchy graph of the class owning that position).  Adding
+an edge that would close a cycle merges every element on the cycle into
+a single *shared* location — exactly the paper's treatment of genuine
+cyclic value flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.lang import ast
+from repro.lang.callgraph import MethodKey
+from repro.lang.symtab import ProgramInfo
+from repro.infer.value_flow import MethodFlowGraph, FlowNode
+
+
+class HierarchyGraph:
+    """A partial order under construction, with union-find element
+    merging and cycle→shared collapsing."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._parent: dict[str, str] = {}
+        #: up[x] = elements declared strictly above x (canonical names)
+        self._up: dict[str, set[str]] = {}
+        self.shared: set[str] = set()
+
+    # -- union-find -------------------------------------------------------
+
+    def add_element(self, element: str) -> str:
+        if element not in self._parent:
+            self._parent[element] = element
+            self._up[element] = set()
+        return self.find(element)
+
+    def find(self, element: str) -> str:
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def _merge(self, members: set[str]) -> str:
+        """Merge ``members`` (canonical names) into one shared element."""
+        members = {self.find(m) for m in members}
+        representative = min(members)
+        combined_up: set[str] = set()
+        for member in members:
+            combined_up |= self._up.pop(member, set())
+            self._parent[member] = representative
+        self._parent[representative] = representative
+        self._up[representative] = {
+            self.find(e) for e in combined_up if self.find(e) != representative
+        }
+        # re-canonicalize edges pointing at merged members
+        for element, ups in self._up.items():
+            self._up[element] = {
+                self.find(e) for e in ups if self.find(e) != element
+            }
+        self.shared = {self.find(s) for s in self.shared}
+        self.shared.add(representative)
+        return representative
+
+    # -- ordering --------------------------------------------------------------
+
+    def _reachable_up(self, start: str) -> set[str]:
+        seen: set[str] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._up.get(node, ()))
+        return seen
+
+    def add_order(self, lower: str, higher: str) -> None:
+        """Record ``lower < higher`` (a flow higher → lower), merging a
+        cycle into a shared location if one would form."""
+        low = self.add_element(lower)
+        high = self.add_element(higher)
+        if low == high:
+            # a self flow: the location must be shared
+            self.shared.add(low)
+            return
+        # cycle iff high is already (weakly) below low: low ∈ up*(high)
+        if low in self._reachable_up(high):
+            cycle = {
+                node
+                for node in self._reachable_up(high)
+                if low in self._reachable_up(node) or node == low
+            }
+            cycle |= {low, high}
+            self._merge(cycle)
+            return
+        self._up[low].add(high)
+
+    # -- export ------------------------------------------------------------------
+
+    def elements(self) -> set[str]:
+        return {self.find(e) for e in self._parent}
+
+    def orderings(self) -> set[tuple[str, str]]:
+        result = set()
+        for low in self.elements():
+            for high in self._up.get(low, ()):
+                result.add((low, self.find(high)))
+        return {(l, h) for (l, h) in result if l != h}
+
+    def shared_elements(self) -> set[str]:
+        return {self.find(s) for s in self.shared}
+
+    def canonical(self, element: str) -> str:
+        if element not in self._parent:
+            return element
+        return self.find(element)
+
+    def above(self, element: str) -> set[str]:
+        """All canonical elements strictly above ``element``."""
+        start = self.canonical(element)
+        return self._reachable_up(start) - {start}
+
+
+@dataclass
+class HierarchySet:
+    """All hierarchy graphs of one program."""
+
+    method: dict[MethodKey, HierarchyGraph] = field(default_factory=dict)
+    fields: dict[str, HierarchyGraph] = field(default_factory=dict)
+    #: dropped edges (flows from a field up to its own object reference)
+    dropped: list[tuple[MethodKey, FlowNode, FlowNode]] = field(
+        default_factory=list
+    )
+
+    def field_graph(self, class_name: str) -> HierarchyGraph:
+        if class_name not in self.fields:
+            self.fields[class_name] = HierarchyGraph(f"class {class_name}")
+        return self.fields[class_name]
+
+
+class _PathClasses:
+    """Resolves the class owning each position of a composite node."""
+
+    def __init__(self, info: ProgramInfo, graph: MethodFlowGraph) -> None:
+        self.info = info
+        self.graph = graph
+
+    def class_at(self, node: FlowNode, position: int) -> Optional[str]:
+        """Class whose field hierarchy owns ``node[position]``
+        (position >= 1)."""
+        root = self.graph.roots.get(node[0])
+        current = root.class_name if root is not None else None
+        for index in range(1, position):
+            if current is None:
+                return None
+            current = self._value_class(current, node[index])
+        return current
+
+    def _value_class(self, class_name: str, element: str) -> Optional[str]:
+        found = self.info.find_field(class_name, element)
+        if found is not None:
+            decl_type = found[1].decl_type
+            if (
+                isinstance(decl_type, ast.ClassType)
+                and decl_type.name in self.info.classes
+            ):
+                return decl_type.name
+            return None
+        return self.graph.fresh_value_class.get(element)
+
+
+def decompose(
+    info: ProgramInfo, graphs: dict[MethodKey, MethodFlowGraph]
+) -> HierarchySet:
+    """Decompose every method's value flow graph into hierarchy graphs."""
+    hierarchies = HierarchySet()
+    for key in sorted(graphs):
+        graph = graphs[key]
+        method_graph = HierarchyGraph(f"method {key[0]}.{key[1]}")
+        hierarchies.method[key] = method_graph
+        paths = _PathClasses(info, graph)
+
+        # register every element so unordered locations still exist
+        for node in sorted(graph.nodes):
+            method_graph.add_element(node[0])
+            for position in range(1, len(node)):
+                owner = paths.class_at(node, position)
+                if owner is not None:
+                    hierarchies.field_graph(owner).add_element(node[position])
+
+        for src, dst in sorted(graph.edges):
+            _classify_edge(hierarchies, method_graph, paths, key, src, dst)
+    return hierarchies
+
+
+def _classify_edge(
+    hierarchies: HierarchySet,
+    method_graph: HierarchyGraph,
+    paths: _PathClasses,
+    key: MethodKey,
+    src: FlowNode,
+    dst: FlowNode,
+) -> None:
+    limit = min(len(src), len(dst))
+    for position in range(limit):
+        if src[position] != dst[position]:
+            if position == 0:
+                method_graph.add_order(lower=dst[0], higher=src[0])
+            else:
+                owner = paths.class_at(src, position)
+                if owner is None:
+                    hierarchies.dropped.append((key, src, dst))
+                else:
+                    hierarchies.field_graph(owner).add_order(
+                        lower=dst[position], higher=src[position]
+                    )
+            return
+    if len(src) < len(dst):
+        # flow from a reference into its own substructure: already implied
+        # by lexicographic ordering (a prefix is higher than extensions)
+        return
+    if len(src) > len(dst):
+        # flow from substructure up to the enclosing reference cannot be
+        # represented; record it (the engine reports these to developers,
+        # Section 5.2.7)
+        hierarchies.dropped.append((key, src, dst))
+        return
+    # identical nodes: a self flow, the element must be shared
+    if len(src) == 1:
+        element = method_graph.canonical(src[0])
+        method_graph.shared.add(element)
+    else:
+        owner = paths.class_at(src, len(src) - 1)
+        if owner is not None:
+            graph = hierarchies.field_graph(owner)
+            graph.shared.add(graph.canonical(src[-1]))

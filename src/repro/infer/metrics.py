@@ -1,0 +1,104 @@
+"""Lattice complexity metrics for the inference evaluation (Table 6.1).
+
+Two measurements per lattice, following Section 6.3.1:
+
+* the number of location types (lattice elements, excluding the ambient
+  ⊤/⊥ the implementation always adds);
+* the number of distinct top-to-bottom paths through the covering
+  relation — a McCabe-style measure of how many ways values can flow
+  through the lattice.
+
+Lattices with at most 5 locations count as *simple*, larger ones as
+*complex*, matching the paper's thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.lattice import BOTTOM, Lattice, TOP
+
+SIMPLE_THRESHOLD = 5
+
+
+@dataclass(frozen=True)
+class LatticeMetrics:
+    name: str
+    locations: int
+    paths: int
+
+    @property
+    def is_simple(self) -> bool:
+        return self.locations <= SIMPLE_THRESHOLD
+
+
+def _covers(lattice: Lattice) -> dict[str, set[str]]:
+    """covers[x] = elements immediately above x (including TOP/BOTTOM)."""
+    elements = sorted(lattice.elements)
+    above = {e: {h for h in elements if lattice.lt(e, h)} for e in elements}
+    covers: dict[str, set[str]] = {e: set() for e in elements}
+    for low in elements:
+        for high in above[low]:
+            if not any(middle in above[low] and high in above[middle]
+                       for middle in elements):
+                covers[low].add(high)
+    return covers
+
+
+def count_paths(lattice: Lattice) -> int:
+    """Number of maximal chains (TOP→…→BOTTOM paths in the cover graph)."""
+    covers = _covers(lattice)
+    # paths_up[x] = number of cover paths from x up to TOP
+    memo: dict[str, int] = {TOP: 1}
+
+    def paths_up(element: str) -> int:
+        if element in memo:
+            return memo[element]
+        total = sum(paths_up(higher) for higher in covers[element])
+        memo[element] = total
+        return total
+
+    return paths_up(BOTTOM)
+
+
+def lattice_metrics(name: str, lattice: Lattice) -> LatticeMetrics:
+    return LatticeMetrics(
+        name=name,
+        locations=len(lattice.user_elements()),
+        paths=count_paths(lattice),
+    )
+
+
+@dataclass
+class MetricsSummary:
+    """Aggregated per-program metrics, split into the paper's simple
+    (≤5 locations) and complex (>5) categories."""
+
+    simple_count: int = 0
+    simple_locations: int = 0
+    simple_paths: int = 0
+    complex_count: int = 0
+    complex_locations: int = 0
+    complex_paths: int = 0
+
+    @property
+    def total_locations(self) -> int:
+        return self.simple_locations + self.complex_locations
+
+    @property
+    def total_paths(self) -> int:
+        return self.simple_paths + self.complex_paths
+
+
+def summarize_metrics(per_lattice: list[LatticeMetrics]) -> MetricsSummary:
+    summary = MetricsSummary()
+    for metrics in per_lattice:
+        if metrics.is_simple:
+            summary.simple_count += 1
+            summary.simple_locations += metrics.locations
+            summary.simple_paths += metrics.paths
+        else:
+            summary.complex_count += 1
+            summary.complex_locations += metrics.locations
+            summary.complex_paths += metrics.paths
+    return summary

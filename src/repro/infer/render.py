@@ -1,0 +1,97 @@
+"""Lattice rendering (the paper's lattice figures 5.9–5.11, 6.4).
+
+Two output formats:
+
+* ``ascii`` — a level-by-level listing with the covering edges, readable
+  in a terminal;
+* ``dot`` — Graphviz source, for the figure-style pictures.
+"""
+
+from __future__ import annotations
+
+from repro.core.lattice import BOTTOM, Lattice, TOP
+
+
+def _covers(lattice: Lattice) -> dict[str, set[str]]:
+    """covers[low] = elements immediately above low."""
+    elements = sorted(lattice.elements)
+    above = {e: {h for h in elements if lattice.lt(e, h)} for e in elements}
+    covers: dict[str, set[str]] = {e: set() for e in elements}
+    for low in elements:
+        for high in above[low]:
+            if not any(mid in above[low] and high in above[mid]
+                       for mid in elements):
+                covers[low].add(high)
+    return covers
+
+
+def _levels(lattice: Lattice) -> list[list[str]]:
+    """Elements grouped by depth below TOP (TOP first, BOTTOM last)."""
+    elements = sorted(lattice.elements)
+    above = {e: {h for h in elements if lattice.lt(e, h)} for e in elements}
+    depth: dict[str, int] = {}
+    for element in sorted(elements, key=lambda e: len(above[e])):
+        depth[element] = 1 + max(
+            (depth[h] for h in above[element]), default=-1
+        )
+    # force BOTTOM to the deepest level for display
+    max_depth = max(depth.values())
+    depth[BOTTOM] = max_depth if max_depth > depth.get(BOTTOM, 0) else depth[BOTTOM]
+    levels: dict[int, list[str]] = {}
+    for element, d in depth.items():
+        levels.setdefault(d, []).append(element)
+    return [sorted(levels[d]) for d in sorted(levels)]
+
+
+def _label(lattice: Lattice, element: str) -> str:
+    if element == TOP:
+        return "⊤"
+    if element == BOTTOM:
+        return "⊥"
+    if lattice.is_shared(element):
+        return f"{element}*"
+    return element
+
+
+def render_ascii(lattice: Lattice) -> str:
+    """Level-ordered rendering with covering edges."""
+    covers = _covers(lattice)
+    lines: list[str] = []
+    for level in _levels(lattice):
+        lines.append("  ".join(_label(lattice, e) for e in level))
+        edges = []
+        for element in level:
+            for lower, highs in sorted(covers.items()):
+                if element in highs and lower not in level:
+                    edges.append(f"{_label(lattice, element)} > "
+                                 f"{_label(lattice, lower)}")
+        if edges:
+            lines.append("    " + "; ".join(sorted(set(edges))))
+    return "\n".join(lines)
+
+
+def render_dot(lattice: Lattice, name: str = "lattice") -> str:
+    """Graphviz source with edges pointing from higher to lower."""
+    covers = _covers(lattice)
+    safe = name.replace(" ", "_").replace(".", "_").replace("-", "_")
+    lines = [f"digraph \"{safe}\" {{", "  rankdir=TB;",
+             "  node [shape=box, fontsize=10];"]
+    for element in sorted(lattice.elements):
+        label = _label(lattice, element)
+        style = ""
+        if element in (TOP, BOTTOM):
+            style = ", style=rounded"
+        elif lattice.is_shared(element):
+            style = ", style=dashed"
+        lines.append(f'  "{element}" [label="{label}"{style}];')
+    for lower, highs in sorted(covers.items()):
+        for higher in sorted(highs):
+            lines.append(f'  "{higher}" -> "{lower}";')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def render_lattice(lattice: Lattice, fmt: str = "ascii") -> str:
+    if fmt == "dot":
+        return render_dot(lattice, lattice.name or "lattice")
+    return render_ascii(lattice)

@@ -1,0 +1,101 @@
+"""SInfer's simplification of hierarchy graphs (Section 5.3).
+
+The naive pipeline assigns every variable, field and intermediate its
+own location, producing lattices far too complex for humans (the paper's
+SynthesisFilter lattice had 997 locations and ten million paths).
+SInfer simplifies while keeping **interface members** (fields,
+parameters, ``this``, the return value, the program counter) precisely
+ordered:
+
+* **redundant edge removal** — an ordering implied transitively is
+  dropped (Section 5.3.2);
+* **equivalent node merging** — two elements with identical strict
+  upper and lower neighborhoods are merged into one location; merging
+  them admits no new information flow (Section 5.3.2, Fig. 5.14).
+  Non-interface elements merge freely; interface elements merge only
+  with each other, preserving interface precision (Section 5.1.2).
+
+Intermediate (``IL``/``GLB``) elements double as the paper's *merge
+points* (Section 5.3.3): they are kept whenever they combine flows from
+more than one interface node, and merged away otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.infer.hierarchy import HierarchyGraph
+
+
+def simplify_hierarchy(graph: HierarchyGraph, interface: set[str]) -> None:
+    """Simplify ``graph`` in place.
+
+    ``interface`` holds the canonical names of interface elements; all
+    other elements are fair game for aggressive merging.
+    """
+    changed = True
+    rounds = 0
+    while changed and rounds < 50:
+        rounds += 1
+        changed = remove_redundant_edges(graph)
+        interface_now = {graph.canonical(e) for e in interface}
+        changed |= merge_equivalent_nodes(graph, interface_now)
+
+
+def remove_redundant_edges(graph: HierarchyGraph) -> bool:
+    """Drop edges implied by transitivity; True if anything changed."""
+    changed = False
+    for low in sorted(graph.elements()):
+        ups = sorted(graph._up.get(low, set()))
+        for high in ups:
+            graph._up[low].discard(high)
+            if high in graph._reachable_up(low):
+                changed = True  # transitively implied: leave it removed
+            else:
+                graph._up[low].add(high)
+    return changed
+
+
+def merge_equivalent_nodes(graph: HierarchyGraph, interface: set[str]) -> bool:
+    """Merge elements with identical neighborhoods; True if merged."""
+    elements = sorted(graph.elements())
+    down: dict[str, set[str]] = {e: set() for e in elements}
+    up: dict[str, set[str]] = {e: set() for e in elements}
+    for low in elements:
+        for high in graph._up.get(low, set()):
+            high = graph.find(high)
+            up[low].add(high)
+            down.setdefault(high, set()).add(low)
+
+    signature: dict[tuple, list[str]] = {}
+    for element in elements:
+        shared_flag = element in graph.shared_elements()
+        key = (
+            frozenset(up[element]),
+            frozenset(down.get(element, set())),
+            element in interface,
+            shared_flag,
+        )
+        signature.setdefault(key, []).append(element)
+
+    changed = False
+    for (ups, downs, is_interface, _), members in signature.items():
+        if len(members) < 2:
+            continue
+        # never merge an element with one of its own neighbors
+        members_set = set(members)
+        if members_set & set(ups) or members_set & set(downs):
+            continue
+        _merge_without_shared(graph, members_set)
+        changed = True
+    return changed
+
+
+def _merge_without_shared(graph: HierarchyGraph, members: set[str]) -> None:
+    """Merge elements that carry no flows between each other: unlike a
+    cycle merge, the result is shared only if a member already was."""
+    was_shared = bool(members & graph.shared_elements())
+    graph._merge(members)
+    if not was_shared:
+        representative = graph.find(next(iter(members)))
+        graph.shared.discard(representative)
+
+

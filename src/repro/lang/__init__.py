@@ -1,0 +1,29 @@
+"""The ``sjava`` mini-language substrate.
+
+The paper's artifact is a compiler front end for Java.  This package
+implements, from scratch, the Java-like language that all of the SJava
+machinery (the location type system, the static analyses, and the
+annotation inference algorithm) operates on: a lexer, a parser producing a
+typed AST, symbol tables, a conventional type checker, control-flow
+graphs, and a call graph.
+
+The public entry point is :func:`repro.lang.parse_program`.
+"""
+
+from repro.lang.ast import Program
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.parser import ParseError, parse_program
+from repro.lang.symtab import ProgramInfo, resolve_program
+from repro.lang.typecheck import JavaTypeError, typecheck_program
+
+__all__ = [
+    "JavaTypeError",
+    "LexError",
+    "ParseError",
+    "Program",
+    "ProgramInfo",
+    "parse_program",
+    "resolve_program",
+    "tokenize",
+    "typecheck_program",
+]

@@ -1,0 +1,170 @@
+"""The built-in SJava library visible to mini-language programs.
+
+Three namespaces of static functions are available:
+
+* ``Device`` — input sources.  Every call returns a fresh value for the
+  current event-loop iteration, so the location type system assigns the
+  results the ⊤ location.
+* ``SJ`` — output sinks and utilities.  ``SJ.broadcast`` / ``SJ.print``
+  send values out of the program (a flow to ⊥, always permitted).
+  ``SJ.fill(array, v)`` overwrites every element of an array; the
+  shared-location analysis recognizes it as a simultaneous clear.
+* ``Math`` — pure numeric functions whose results take the GLB of the
+  argument locations.
+
+One builtin class family is provided: ``OrderedBuffer`` (float elements)
+and ``OrderedIntBuffer`` (int elements) — the paper's "SJava library
+array" whose ``insert`` shifts all elements down one position and writes
+the new value at the head (Section 4.1.3).  The eviction analysis treats
+``insert`` as a must-write of the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.lang import types as st
+
+NAMESPACES = frozenset({"Device", "SJ", "Math"})
+
+BUILTIN_CLASSES = frozenset({"OrderedBuffer", "OrderedIntBuffer"})
+
+
+@dataclass(frozen=True)
+class BuiltinSig:
+    """Type signature of a builtin function or method.
+
+    ``check`` receives the argument types and returns the result type, or
+    ``None`` if the arguments are ill-typed.
+    """
+
+    name: str
+    check: Callable[[list[st.SType]], Optional[st.SType]]
+    #: 'input' (⊤ result), 'output' (sink), 'pure' (GLB of args),
+    #: 'fill' (clears an array), or a buffer-method kind.
+    kind: str = "pure"
+
+
+def _fixed(result: st.SType, *params: st.SType) -> Callable:
+    expected = list(params)
+
+    def check(args: list[st.SType]) -> Optional[st.SType]:
+        if len(args) != len(expected):
+            return None
+        for got, want in zip(args, expected):
+            if not st.assignable(want, got):
+                return None
+        return result
+
+    return check
+
+
+def _any_one(result: st.SType) -> Callable:
+    def check(args: list[st.SType]) -> Optional[st.SType]:
+        if len(args) != 1:
+            return None
+        return result
+
+    return check
+
+
+def _numeric_unary(args: list[st.SType]) -> Optional[st.SType]:
+    if len(args) == 1 and st.is_numeric(args[0]):
+        return args[0]
+    return None
+
+
+def _numeric_binary(args: list[st.SType]) -> Optional[st.SType]:
+    if len(args) == 2:
+        return st.numeric_join(args[0], args[1])
+    return None
+
+
+def _float_unary(args: list[st.SType]) -> Optional[st.SType]:
+    if len(args) == 1 and st.is_numeric(args[0]):
+        return st.FLOAT
+    return None
+
+
+def _fill_check(args: list[st.SType]) -> Optional[st.SType]:
+    if len(args) != 2:
+        return None
+    array, value = args
+    if isinstance(array, st.ArrayT) and st.assignable(array.element, value):
+        return st.VOID
+    return None
+
+
+DEVICE_FUNCTIONS: dict[str, BuiltinSig] = {
+    name: BuiltinSig(name, _fixed(result), kind="input")
+    for name, result in {
+        "readSensor": st.INT,
+        "readTemp": st.FLOAT,
+        "readHumidity": st.FLOAT,
+        "readImage": st.INT,
+        "readPixel": st.INT,
+        "readSonar": st.INT,
+        "readLine": st.INT,
+        "readFrame": st.INT,
+        "readInt": st.INT,
+        "readFloat": st.FLOAT,
+        "readSample": st.FLOAT,
+        "readScale": st.FLOAT,
+        "readHeader": st.INT,
+    }.items()
+}
+
+SJ_FUNCTIONS: dict[str, BuiltinSig] = {
+    "broadcast": BuiltinSig("broadcast", _any_one(st.VOID), kind="output"),
+    "print": BuiltinSig("print", _any_one(st.VOID), kind="output"),
+    "emit": BuiltinSig("emit", _any_one(st.VOID), kind="output"),
+    "toStr": BuiltinSig("toStr", _any_one(st.STRING), kind="pure"),
+    "fill": BuiltinSig("fill", _fill_check, kind="fill"),
+}
+
+MATH_FUNCTIONS: dict[str, BuiltinSig] = {
+    "abs": BuiltinSig("abs", _numeric_unary),
+    "min": BuiltinSig("min", _numeric_binary),
+    "max": BuiltinSig("max", _numeric_binary),
+    "sqrt": BuiltinSig("sqrt", _float_unary),
+    "sin": BuiltinSig("sin", _float_unary),
+    "cos": BuiltinSig("cos", _float_unary),
+    "exp": BuiltinSig("exp", _float_unary),
+    "pow": BuiltinSig("pow", _fixed(st.FLOAT, st.FLOAT, st.FLOAT)),
+    "floor": BuiltinSig("floor", _fixed(st.INT, st.FLOAT)),
+    "round": BuiltinSig("round", _fixed(st.INT, st.FLOAT)),
+}
+
+NAMESPACE_FUNCTIONS: dict[str, dict[str, BuiltinSig]] = {
+    "Device": DEVICE_FUNCTIONS,
+    "SJ": SJ_FUNCTIONS,
+    "Math": MATH_FUNCTIONS,
+}
+
+
+def _buffer_methods(element: st.SType) -> dict[str, BuiltinSig]:
+    return {
+        "insert": BuiltinSig("insert", _fixed(st.VOID, element), kind="buffer-insert"),
+        "get": BuiltinSig("get", _fixed(element, st.INT), kind="buffer-get"),
+        "size": BuiltinSig("size", _fixed(st.INT), kind="buffer-size"),
+    }
+
+
+BUILTIN_CLASS_METHODS: dict[str, dict[str, BuiltinSig]] = {
+    "OrderedBuffer": _buffer_methods(st.FLOAT),
+    "OrderedIntBuffer": _buffer_methods(st.INT),
+}
+
+BUILTIN_CLASS_ELEMENT: dict[str, st.SType] = {
+    "OrderedBuffer": st.FLOAT,
+    "OrderedIntBuffer": st.INT,
+}
+
+
+def lookup_namespace_function(namespace: str, name: str) -> Optional[BuiltinSig]:
+    return NAMESPACE_FUNCTIONS.get(namespace, {}).get(name)
+
+
+def lookup_builtin_method(class_name: str, name: str) -> Optional[BuiltinSig]:
+    return BUILTIN_CLASS_METHODS.get(class_name, {}).get(name)

@@ -1,0 +1,151 @@
+"""Call graph construction over resolved programs.
+
+Used to determine the checked scope (everything callable from the main
+event loop), to order interprocedural analyses, and to detect recursion
+(prohibited by the termination analysis, Section 4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lang import ast
+from repro.lang.symtab import MethodCall, ProgramInfo
+
+MethodKey = tuple[str, str]  # (class name, method name)
+
+
+@dataclass
+class CallGraph:
+    #: edges[caller] = set of callees (dynamic dispatch expanded)
+    edges: dict[MethodKey, set[MethodKey]] = field(default_factory=dict)
+    #: call sites per caller: (Call expr, static target key)
+    sites: dict[MethodKey, list[tuple[ast.Call, MethodKey]]] = field(
+        default_factory=dict
+    )
+
+    def callees(self, caller: MethodKey) -> set[MethodKey]:
+        return self.edges.get(caller, set())
+
+    def reachable_from(self, start: MethodKey) -> set[MethodKey]:
+        seen: set[MethodKey] = set()
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self.edges.get(node, ()))
+        return seen
+
+    def find_recursive_cycle(
+        self, scope: Optional[set[MethodKey]] = None
+    ) -> Optional[list[MethodKey]]:
+        """Return one recursive call chain within ``scope``, or None."""
+        state: dict[MethodKey, int] = {}
+
+        def visit(node: MethodKey, stack: list[MethodKey]) -> Optional[list[MethodKey]]:
+            mark = state.get(node, 0)
+            if mark == 1:
+                return stack[stack.index(node):] + [node]
+            if mark == 2:
+                return None
+            state[node] = 1
+            stack.append(node)
+            for callee in sorted(self.edges.get(node, ())):
+                if scope is not None and callee not in scope:
+                    continue
+                cycle = visit(callee, stack)
+                if cycle is not None:
+                    return cycle
+            stack.pop()
+            state[node] = 2
+            return None
+
+        nodes = sorted(scope) if scope is not None else sorted(self.edges)
+        for node in nodes:
+            cycle = visit(node, [])
+            if cycle is not None:
+                return cycle
+        return None
+
+    def topological_order(self, scope: set[MethodKey]) -> list[MethodKey]:
+        """Callees before callers (valid only when recursion-free)."""
+        order: list[MethodKey] = []
+        seen: set[MethodKey] = set()
+
+        def visit(node: MethodKey) -> None:
+            if node in seen:
+                return
+            seen.add(node)
+            for callee in sorted(self.edges.get(node, ())):
+                if callee in scope:
+                    visit(callee)
+            order.append(node)
+
+        for node in sorted(scope):
+            visit(node)
+        return order
+
+
+def _iter_calls(stmt: ast.Stmt) -> Iterator[ast.Call]:
+    def from_expr(expr: ast.Expr) -> Iterator[ast.Call]:
+        if isinstance(expr, ast.Call):
+            yield expr
+        for child in ast.iter_child_exprs(expr):
+            yield from from_expr(child)
+
+    if isinstance(stmt, ast.Block):
+        for child in stmt.stmts:
+            yield from _iter_calls(child)
+    elif isinstance(stmt, ast.VarDecl):
+        if stmt.init is not None:
+            yield from from_expr(stmt.init)
+    elif isinstance(stmt, ast.Assign):
+        yield from from_expr(stmt.target)
+        yield from from_expr(stmt.value)
+    elif isinstance(stmt, ast.If):
+        yield from from_expr(stmt.cond)
+        yield from _iter_calls(stmt.then_body)
+        if stmt.else_body is not None:
+            yield from _iter_calls(stmt.else_body)
+    elif isinstance(stmt, ast.While):
+        yield from from_expr(stmt.cond)
+        yield from _iter_calls(stmt.body)
+    elif isinstance(stmt, ast.For):
+        if stmt.init is not None:
+            yield from _iter_calls(stmt.init)
+        if stmt.cond is not None:
+            yield from from_expr(stmt.cond)
+        if stmt.update is not None:
+            yield from _iter_calls(stmt.update)
+        yield from _iter_calls(stmt.body)
+    elif isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            yield from from_expr(stmt.value)
+    elif isinstance(stmt, ast.ExprStmt):
+        yield from from_expr(stmt.expr)
+
+
+def build_call_graph(info: ProgramInfo) -> CallGraph:
+    """Build the program call graph with dynamic dispatch expanded: a call
+    whose static receiver type is C may reach the override in any subclass
+    of C."""
+    graph = CallGraph()
+    for cls in info.program.classes:
+        for method in cls.methods:
+            caller: MethodKey = (cls.name, method.name)
+            graph.edges.setdefault(caller, set())
+            graph.sites.setdefault(caller, [])
+            for call in _iter_calls(method.body):
+                target = info.call_targets.get(call.uid)
+                if not isinstance(target, MethodCall):
+                    continue
+                static_key: MethodKey = (target.owner, target.decl.name)
+                graph.sites[caller].append((call, static_key))
+                for owner, decl in info.overriding_decls(
+                    target.receiver_class, target.decl.name
+                ):
+                    graph.edges[caller].add((owner, decl.name))
+    return graph

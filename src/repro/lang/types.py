@@ -1,0 +1,115 @@
+"""Semantic types used by the conventional type checker.
+
+These are distinct from the syntactic :class:`repro.lang.ast.TypeNode`
+nodes: semantic types are hashable values with structural equality and no
+source positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang import ast
+
+
+@dataclass(frozen=True)
+class SType:
+    """Base class for semantic types."""
+
+
+@dataclass(frozen=True)
+class PrimT(SType):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ClassT(SType):
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayT(SType):
+    element: SType
+
+    def __str__(self) -> str:
+        return f"{self.element}[]"
+
+
+@dataclass(frozen=True)
+class NullT(SType):
+    def __str__(self) -> str:
+        return "null"
+
+
+@dataclass(frozen=True)
+class BuiltinClassT(SType):
+    """A builtin library class such as ``OrderedBuffer``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+INT = PrimT("int")
+FLOAT = PrimT("float")
+BOOLEAN = PrimT("boolean")
+STRING = PrimT("String")
+VOID = PrimT("void")
+NULL = NullT()
+
+_PRIMS = {"int": INT, "float": FLOAT, "boolean": BOOLEAN, "String": STRING,
+          "void": VOID}
+
+
+def is_numeric(stype: SType) -> bool:
+    return stype in (INT, FLOAT)
+
+
+def is_reference(stype: SType) -> bool:
+    return isinstance(stype, (ClassT, ArrayT, NullT, BuiltinClassT)) or stype == STRING
+
+
+def numeric_join(left: SType, right: SType) -> Optional[SType]:
+    """The result type of an arithmetic op, or None if non-numeric."""
+    if not (is_numeric(left) and is_numeric(right)):
+        return None
+    if FLOAT in (left, right):
+        return FLOAT
+    return INT
+
+
+def from_type_node(node: ast.TypeNode, known_builtin_classes: frozenset[str]) -> SType:
+    """Convert a syntactic type to a semantic type.
+
+    Class names in ``known_builtin_classes`` become
+    :class:`BuiltinClassT`; all other class names become :class:`ClassT`
+    (existence is validated by the resolver).
+    """
+    if isinstance(node, ast.PrimType):
+        return _PRIMS[node.name]
+    if isinstance(node, ast.ClassType):
+        if node.name in known_builtin_classes:
+            return BuiltinClassT(node.name)
+        return ClassT(node.name)
+    if isinstance(node, ast.ArrayType):
+        return ArrayT(from_type_node(node.element, known_builtin_classes))
+    raise TypeError(f"unknown type node {node!r}")
+
+
+def assignable(target: SType, value: SType) -> bool:
+    """Conventional (Java-level) assignability: ``target x = value``."""
+    if target == value:
+        return True
+    if target == FLOAT and value == INT:
+        return True
+    if isinstance(value, NullT) and is_reference(target):
+        return True
+    return False

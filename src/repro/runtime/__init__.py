@@ -1,0 +1,33 @@
+"""Execution substrate for sjava programs.
+
+The paper evaluates self-stabilization by running the benchmarks on the
+JVM with compiler-injected faults (Section 6.2).  This package provides
+the equivalent: an AST interpreter implementing SJava's crash-avoidance
+code-generation semantics (Section 4.4 — uncaught errors are logged and
+given defined behavior; possibly-unbounded loops are bounded), simulated
+input devices, a fault injector that replaces the result of a randomly
+chosen memory or arithmetic operation with a random value, and the
+stabilization-experiment harness that measures recovery distances.
+"""
+
+from repro.runtime.devices import DeviceBus, ScriptedDevice, SyntheticDevice
+from repro.runtime.injection import ErrorInjector
+from repro.runtime.interpreter import Interpreter, RuntimeOptions, SJavaRuntimeError
+from repro.runtime.stabilization import (
+    InjectionTrial,
+    StabilizationExperiment,
+    recovery_distance,
+)
+
+__all__ = [
+    "DeviceBus",
+    "ErrorInjector",
+    "InjectionTrial",
+    "Interpreter",
+    "RuntimeOptions",
+    "SJavaRuntimeError",
+    "ScriptedDevice",
+    "StabilizationExperiment",
+    "SyntheticDevice",
+    "recovery_distance",
+]

@@ -1,0 +1,167 @@
+"""Stabilization experiments (Section 6.2).
+
+Runs a checked program twice on identical inputs — once clean, once with
+a fault injected at a uniformly chosen memory/arithmetic operation — and
+measures how many output samples the program needs to return to exactly
+the reference behavior.
+
+Outputs are compared per event-loop iteration: the error model assumes
+input reads happen unconditionally each iteration, so devices are keyed
+by iteration (see :class:`IterationKeyedDevice` in
+:mod:`repro.runtime.devices` users can supply any such device factory)
+and a corrupted iteration cannot shift the framing of later ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.lang.symtab import ProgramInfo
+from repro.runtime.compiler import CompiledRunner
+from repro.runtime.devices import DeviceBus
+from repro.runtime.injection import ErrorInjector, StepCounter
+from repro.runtime.interpreter import Interpreter, RuntimeOptions
+
+DeviceFactory = Callable[[], DeviceBus]
+
+
+@dataclass
+class InjectionTrial:
+    """Outcome of a single fault-injection run."""
+
+    target_step: int
+    injection_iteration: Optional[int]
+    corrupted_output: bool
+    #: Number of reference output samples from the start of the injection
+    #: iteration until outputs match the reference again; None when the
+    #: output never deviated (masked fault).
+    recovery_samples: Optional[int]
+    #: Number of event-loop iterations until recovery (same convention).
+    recovery_iterations: Optional[int]
+    #: True if the run never returned to the reference behavior.
+    diverged: bool = False
+    error_log_size: int = 0
+
+
+def recovery_distance(
+    reference_groups: list[list[object]],
+    faulty_groups: list[list[object]],
+    injection_iteration: int,
+) -> tuple[Optional[int], Optional[int], bool]:
+    """Returns (samples, iterations, diverged).
+
+    Recovery iteration: the first iteration r >= injection such that all
+    per-iteration output groups from r onward equal the reference's.
+    """
+    total = min(len(reference_groups), len(faulty_groups))
+    if faulty_groups[:total] == reference_groups[:total]:
+        return None, None, False  # fault masked: no visible corruption
+    recovery = None
+    # r == total is excluded: with no matching trailing output we cannot
+    # claim the program recovered, so such runs count as diverged (give
+    # experiments enough trailing iterations to observe recovery).
+    for r in range(injection_iteration, total):
+        if faulty_groups[r:total] == reference_groups[r:total]:
+            recovery = r
+            break
+    if recovery is None:
+        return None, None, True
+    samples = sum(
+        len(reference_groups[i]) for i in range(injection_iteration, recovery)
+    )
+    return samples, recovery - injection_iteration, False
+
+
+@dataclass
+class StabilizationExperiment:
+    """Orchestrates reference + injected runs of one program."""
+
+    info: ProgramInfo
+    device_factory: DeviceFactory
+    options: RuntimeOptions = field(
+        default_factory=lambda: RuntimeOptions(ignore_errors=True)
+    )
+    #: Execution backend; the closure-compiling runner is observationally
+    #: identical to the interpreter (differentially tested) and 2-4x
+    #: faster, which matters at paper-scale trial counts.
+    engine: type = CompiledRunner
+    _reference_groups: Optional[list[list[object]]] = None
+    _total_steps: Optional[int] = None
+
+    def _run(self, injector: Optional[object]) -> Interpreter:
+        interpreter = self.engine(
+            self.info, self.device_factory(), options=self.options,
+            injector=injector,
+        )
+        interpreter.run()
+        return interpreter
+
+    def reference_groups(self) -> list[list[object]]:
+        if self._reference_groups is None:
+            self._reference_groups = self._run(None).outputs_by_iteration()
+        return self._reference_groups
+
+    def total_steps(self) -> int:
+        """Number of injectable sites in a clean run."""
+        if self._total_steps is None:
+            counter = StepCounter()
+            self._run(counter)
+            self._total_steps = counter.step
+        return self._total_steps
+
+    def trial(self, seed: int, burst: int = 1) -> InjectionTrial:
+        """One injected run with a uniformly chosen target site."""
+        rng = random.Random(seed)
+        target = rng.randrange(max(1, self.total_steps()))
+        injector = ErrorInjector(target_step=target, seed=seed + 1, burst=burst)
+        interpreter = self._run(injector)
+        faulty_groups = interpreter.outputs_by_iteration()
+        reference = self.reference_groups()
+        injection_iteration = injector.injection_iteration
+        if injection_iteration is None:
+            # The injector replaced a value with an equal one or never hit
+            # a corruptible site: no fault was actually introduced.
+            return InjectionTrial(
+                target_step=target,
+                injection_iteration=None,
+                corrupted_output=False,
+                recovery_samples=None,
+                recovery_iterations=None,
+                error_log_size=len(interpreter.error_log),
+            )
+        samples, iterations, diverged = recovery_distance(
+            reference, faulty_groups, injection_iteration
+        )
+        return InjectionTrial(
+            target_step=target,
+            injection_iteration=injection_iteration,
+            corrupted_output=samples is not None or diverged,
+            recovery_samples=samples,
+            recovery_iterations=iterations,
+            diverged=diverged,
+            error_log_size=len(interpreter.error_log),
+        )
+
+    def run_trials(
+        self, count: int, seed: int = 0, burst: int = 1
+    ) -> list[InjectionTrial]:
+        return [self.trial(seed + i, burst=burst) for i in range(count)]
+
+
+def corrupted_trials(trials: list[InjectionTrial]) -> list[InjectionTrial]:
+    return [t for t in trials if t.corrupted_output]
+
+
+def recovery_histogram(
+    trials: list[InjectionTrial], bin_size: int
+) -> dict[int, int]:
+    """Histogram of recovery distances in output samples (Fig. 6.1)."""
+    histogram: dict[int, int] = {}
+    for trial in trials:
+        if trial.recovery_samples is None:
+            continue
+        bucket = (trial.recovery_samples // bin_size) * bin_size
+        histogram[bucket] = histogram.get(bucket, 0) + 1
+    return dict(sorted(histogram.items()))

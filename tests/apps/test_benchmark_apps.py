@@ -1,0 +1,157 @@
+"""Benchmark application tests (Section 6.1/6.2): every app checks,
+runs, strips, re-infers, and self-stabilizes under injected faults."""
+
+import pytest
+
+from repro.apps import (
+    APP_NAMES,
+    app_device_factory,
+    app_source,
+    load_app,
+    strip_location_annotations,
+)
+from repro.core.checker import SJavaChecker
+from repro.infer import infer_annotations
+from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
+
+
+class TestChecking:
+    def test_all_apps_self_stabilize(self, apps):
+        for name, app in apps.items():
+            report = SJavaChecker(app.info).run()
+            assert report.self_stabilizing, f"{name}:\n{report.format()}"
+
+    def test_all_apps_have_event_loop(self, apps):
+        for app in apps.values():
+            assert app.info.event_loop is not None
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            app_source("nope")
+
+
+class TestStripping:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_stripping_removes_location_annotations(self, name):
+        stripped = app_source(name, annotated=False)
+        for marker in ("@LATTICE", "@LOC", "@THISLOC", "@RETURNLOC",
+                       "@PCLOC", "@METHODDEFAULT", "@DELTA("):
+            assert marker not in stripped, f"{marker} left in {name}"
+
+    def test_stripping_preserves_semantic_annotations(self):
+        stripped = app_source("mp3_decoder", annotated=False)
+        assert "@TRUSTED" in stripped
+
+    def test_stripped_program_runs_identically(self):
+        for name in APP_NAMES:
+            annotated = load_app(name)
+            stripped = load_app(name, annotated=False)
+            out_a = Interpreter(
+                annotated.info, app_device_factory(name, 10)()
+            ).run()
+            out_b = Interpreter(
+                stripped.info, app_device_factory(name, 10)()
+            ).run()
+            assert out_a == out_b, name
+
+    def test_strip_is_idempotent(self):
+        source = app_source("wind_sensor", annotated=False)
+        assert strip_location_annotations(source) == source
+
+
+class TestExecution:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_app_produces_output(self, name, apps):
+        interp = Interpreter(
+            apps[name].info,
+            app_device_factory(name, 12)(),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        out = interp.run()
+        assert out
+        assert interp.iteration == 12
+        assert not interp.error_log
+
+    def test_mp3_emits_pcm_per_frame(self, apps):
+        interp = Interpreter(apps["mp3_decoder"].info,
+                             app_device_factory("mp3_decoder", 5)())
+        out = interp.run()
+        assert len(out) == 5 * 16  # 8 PCM samples × 2 granules per frame
+
+    def test_eye_tracker_emits_directions(self, apps):
+        out = Interpreter(apps["eye_tracker"].info,
+                          app_device_factory("eye_tracker", 20)()).run()
+        assert all(0 <= d <= 8 for d in out)
+
+    def test_robot_alternates_move_speed(self, apps):
+        out = Interpreter(apps["sumo_robot"].info,
+                          app_device_factory("sumo_robot", 10)()).run()
+        moves, speeds = out[0::2], out[1::2]
+        assert all(m in (0, 1, 2, 3) for m in moves)
+        assert all(3 <= s <= 9 for s in speeds)
+
+
+class TestSelfStabilization:
+    """Scaled-down versions of the Section 6.2 experiments; the full runs
+    live in benchmarks/."""
+
+    def _experiment(self, name, iterations):
+        app = load_app(name)
+        return StabilizationExperiment(
+            app.info,
+            app_device_factory(name, iterations),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+
+    def test_wind_sensor_recovers_within_bin_depth(self):
+        exp = self._experiment("wind_sensor", 30)
+        trials = exp.run_trials(15, seed=1)
+        for trial in trials:
+            if trial.corrupted_output and not trial.diverged:
+                assert trial.recovery_iterations <= 3
+
+    def test_eye_tracker_recovers_within_history_depth(self):
+        exp = self._experiment("eye_tracker", 30)
+        trials = exp.run_trials(15, seed=2)
+        recovered = [t for t in trials if t.corrupted_output and not t.diverged]
+        assert recovered
+        assert all(t.recovery_iterations <= 3 for t in recovered)
+
+    def test_robot_recovers_next_iteration(self):
+        exp = self._experiment("sumo_robot", 30)
+        trials = exp.run_trials(15, seed=3)
+        recovered = [t for t in trials if t.corrupted_output and not t.diverged]
+        assert recovered
+        # Section 6.2.3: the controller resumed normal behavior in the
+        # next iteration after the error
+        assert all(t.recovery_iterations <= 1 for t in recovered)
+
+    def test_mp3_recovery_bounded_by_window_depth(self):
+        exp = self._experiment("mp3_decoder", 16)
+        trials = exp.run_trials(10, seed=4)
+        recovered = [t for t in trials if t.corrupted_output and not t.diverged]
+        assert recovered
+        # window buffer holds 4 granules = 2 frames; plus the injection
+        # frame: recovery within 3 frames (the paper's hard bound shape)
+        assert all(t.recovery_iterations <= 3 for t in recovered)
+        total = len(exp.reference_groups())
+        for trial in trials:
+            if trial.diverged:
+                assert trial.injection_iteration >= total - 3
+
+
+class TestInference:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_inferred_apps_run_identically(self, name):
+        from repro.lang import parse_program, resolve_program, typecheck_program
+
+        stripped = load_app(name, annotated=False)
+        result = infer_annotations(stripped.info, mode="sinfer", verify=False)
+        program = parse_program(result.annotated_source)
+        info = resolve_program(program)
+        typecheck_program(info)
+        out_inferred = Interpreter(info, app_device_factory(name, 8)()).run()
+        out_manual = Interpreter(
+            load_app(name).info, app_device_factory(name, 8)()
+        ).run()
+        assert out_inferred == out_manual

@@ -1,0 +1,70 @@
+"""Heart monitor app tests: the Section 1.2 safety-critical scenario and
+the @METHODDEFAULT feature in anger."""
+
+from repro.apps import app_device_factory, load_app
+from repro.core.environment import LocationWorld
+from repro.core.errors import DiagnosticSink
+from repro.runtime import RuntimeOptions, StabilizationExperiment
+from repro.runtime.compiler import CompiledRunner
+
+
+class TestChecking:
+    def test_self_stabilizing(self, apps):
+        from repro.core.checker import SJavaChecker
+
+        report = SJavaChecker(apps["heart_monitor"].info).run()
+        assert report.self_stabilizing, report.format()
+
+    def test_methoddefault_shared_by_helpers(self, apps):
+        world = LocationWorld(apps["heart_monitor"].info, DiagnosticSink())
+        condition = world.env_of("HeartMonitor", "condition")
+        clamp = world.env_of("HeartMonitor", "clampSignal")
+        # both helpers picked up the class-default lattice
+        for env in (condition, clamp):
+            assert env.lattice.lt("MOUT", "MTMP")
+            assert env.lattice.lt("MTMP", "MIN")
+            assert env.lattice.is_shared("MTMP")
+        # while the annotated monitor loop has its own lattice
+        monitor = world.env_of("HeartMonitor", "monitor")
+        assert monitor.lattice.lt("HM", "RAWV")
+
+
+class TestBehavior:
+    def test_alarm_codes_in_range(self, apps):
+        engine = CompiledRunner(
+            apps["heart_monitor"].info,
+            app_device_factory("heart_monitor", 30)(),
+        )
+        out = engine.run()
+        alarms = out[0::2]
+        assert all(a in (0, 1, 2, 3) for a in alarms)
+        rates = out[1::2]
+        assert all(r > 0.0 for r in rates)
+
+    def test_recovery_within_interval_history(self):
+        app = load_app("heart_monitor")
+        experiment = StabilizationExperiment(
+            app.info,
+            app_device_factory("heart_monitor", 40),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        trials = experiment.run_trials(25, seed=4)
+        recovered = [
+            t for t in trials if t.corrupted_output and not t.diverged
+        ]
+        assert recovered
+        # deepest state: the 3-beat interval buffer
+        assert all(t.recovery_iterations <= 3 for t in recovered)
+        total = len(experiment.reference_groups())
+        for trial in trials:
+            if trial.diverged:
+                assert trial.injection_iteration >= total - 3
+
+    def test_inference_on_methoddefault_program(self):
+        from repro.infer import infer_annotations
+
+        app = load_app("heart_monitor", annotated=False)
+        result = infer_annotations(app.info, mode="sinfer")
+        assert result.verified, result.check_report.format()
+        # inference emits per-method lattices in place of the default
+        assert result.annotated_source.count("@LATTICE(") >= 3

@@ -1,0 +1,67 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import APP_NAMES, AppBundle, load_app
+from repro.core.checker import CheckReport, check_program
+from repro.lang import parse_program, resolve_program, typecheck_program
+from repro.lang.symtab import ProgramInfo
+
+
+def analyze(source: str) -> ProgramInfo:
+    """Parse + resolve + conventionally type check a program."""
+    program = parse_program(source)
+    info = resolve_program(program)
+    typecheck_program(info)
+    return info
+
+
+def check(source: str) -> CheckReport:
+    return check_program(source)
+
+
+def assert_stabilizing(source: str) -> CheckReport:
+    report = check_program(source)
+    assert report.self_stabilizing, "\n" + report.format()
+    return report
+
+
+def assert_rejected(source: str, check_kind: str) -> CheckReport:
+    """The program must fail with at least one error of ``check_kind``."""
+    report = check_program(source)
+    kinds = {d.check.value for d in report.errors}
+    assert check_kind in kinds, (
+        f"expected a {check_kind!r} error, got kinds {kinds or '{}'}:\n"
+        + report.format()
+    )
+    return report
+
+
+def loop_program(body: str, *, lattice: str = "", extra: str = "") -> str:
+    """Wrap statements into a minimal annotated event-loop program."""
+    lattice_entries = "B<X,X<IN" + ("," + lattice if lattice else "")
+    return f"""
+    class Main {{
+      @LATTICE("{lattice_entries}")
+      @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          {body}
+        }}
+      }}
+    }}
+    {extra}
+    """
+
+
+@pytest.fixture(scope="session")
+def apps() -> dict[str, AppBundle]:
+    return {name: load_app(name) for name in APP_NAMES}
+
+
+@pytest.fixture(scope="session", params=APP_NAMES)
+def app_name(request) -> str:
+    return request.param

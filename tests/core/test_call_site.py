@@ -1,0 +1,295 @@
+"""Method invocation checking tests (Section 4.1.5, Fig. 4.2)."""
+
+from tests.conftest import assert_rejected, assert_stabilizing
+
+
+def caller_callee(caller_body: str, callee: str, lattice: str = "B<X,X<IN") -> str:
+    return f'''
+    class Main {{
+      @LATTICE("{lattice}")
+      @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          {caller_body}
+        }}
+      }}
+      {callee}
+    }}
+    '''
+
+
+class TestParameterOrdering:
+    CALLEE = '''
+      @LATTICE("RR<CO,CO<CI,CTHIS")
+      @THISLOC("CTHIS")
+      @RETURNLOC("RR")
+      int compute(@LOC("CI") int hi, @LOC("CO") int lo) {
+        @LOC("RR") int r = hi + lo;
+        return r;
+      }
+    '''
+
+    def test_arguments_respect_callee_ordering(self):
+        assert_stabilizing(caller_callee(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("MID") int m = v;'
+            '@LOC("B") int out = compute(v, m);'
+            'SJ.broadcast(out);',
+            self.CALLEE,
+            lattice="B<MID,MID<X,X<IN",
+        ))
+
+    def test_violating_argument_order_rejected(self):
+        # callee flows hi → lo, so passing (low, high) is unsafe
+        assert_rejected(caller_callee(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("MID") int m = v;'
+            '@LOC("B") int out = compute(m, v);'
+            'SJ.broadcast(out);',
+            self.CALLEE,
+            lattice="B<MID,MID<X,X<IN",
+        ), "call-site")
+
+    def test_unrelated_params_are_unconstrained(self):
+        callee = '''
+          @LATTICE("R1<P1,R2<P2,R1<P2,CTHIS")
+          @THISLOC("CTHIS")
+          @RETURNLOC("R1")
+          int pick(@LOC("P1") int a, @LOC("P2") int b) {
+            @LOC("R1") int r = a;
+            return r;
+          }
+        '''
+        # arguments at incomparable locations are fine when the callee
+        # never flows between the parameters
+        assert_stabilizing(caller_callee(
+            '@LOC("L1") int x = Device.readSensor();'
+            '@LOC("L2") int y = Device.readSensor();'
+            '@LOC("B") int out = pick(x, y);'
+            'SJ.broadcast(out);',
+            callee.replace("R1<P2,", ""),
+            lattice="B<L1,B<L2,L1<X,L2<X,X<IN",
+        ))
+
+
+class TestReturnLocation:
+    def test_return_location_is_glb_of_relevant_args(self):
+        callee = '''
+          @LATTICE("RL<P,CTHIS")
+          @THISLOC("CTHIS")
+          @RETURNLOC("RL")
+          int half(@LOC("P") int v) {
+            @LOC("RL") int r = v / 2;
+            return r;
+          }
+        '''
+        # result must land strictly below the argument's location
+        assert_stabilizing(caller_callee(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("B") int h = half(v);'
+            'SJ.broadcast(h);',
+            callee,
+        ))
+
+    def test_storing_result_at_arg_level_rejected(self):
+        callee = '''
+          @LATTICE("RL<P,CTHIS")
+          @THISLOC("CTHIS")
+          @RETURNLOC("RL")
+          int half(@LOC("P") int v) {
+            @LOC("RL") int r = v / 2;
+            return r;
+          }
+        '''
+        assert_rejected(caller_callee(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("MID") int m = v;'
+            'm = half(m);'
+            'SJ.broadcast(m);',
+            callee,
+            lattice="B<MID,MID<X,X<IN",
+        ), "flow-down")
+
+    def test_callee_return_value_checked_against_returnloc(self):
+        source = '''
+        class Main {
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("B") int b = bad();
+              SJ.broadcast(b);
+            }
+          }
+          @LATTICE("LOW<HI,CTHIS")
+          @THISLOC("CTHIS")
+          @RETURNLOC("HI")
+          int bad() {
+            @LOC("HI") int h = 3;
+            @LOC("LOW") int l = h;
+            return l;
+          }
+        }
+        '''
+        assert_rejected(source, "flow-down")
+
+    def test_missing_returnloc_is_conservative(self):
+        # without @RETURNLOC the caller assumes the result could carry any
+        # argument's data: storing it above an argument must fail
+        callee = '''
+          @LATTICE("R<P,CTHIS")
+          @THISLOC("CTHIS")
+          int opaque(@LOC("P") int v) {
+            @LOC("R") int r = v;
+            return r;
+          }
+        '''
+        assert_rejected(caller_callee(
+            '@LOC("MID") int m = Device.readSensor();'
+            '@LOC("IN") int high = opaque(m);'
+            'SJ.broadcast(high);',
+            callee,
+            lattice="B<MID,MID<X,X<IN",
+        ), "flow-down")
+
+
+class TestThisRelativeParameters:
+    SOURCE = '''
+    @LATTICE("G<F")
+    class Store {{
+      @LOC("F") int f;
+      @LOC("G") int g;
+      @LATTICE("STHIS")
+      @THISLOC("STHIS")
+      void put(@LOC("STHIS,F") int v) {{
+        this.g = v;
+      }}
+    }}
+    @LATTICE("STO")
+    class Main {{
+      @LOC("STO") Store store = new Store();
+      @LATTICE("{lattice}")
+      @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") int v = Device.readSensor();
+          store.f = v;
+          {body}
+          SJ.broadcast(store.g);
+        }}
+      }}
+    }}
+    '''
+
+    def test_argument_at_field_level_accepted(self):
+        assert_stabilizing(self.SOURCE.format(
+            lattice="X<IN", body="store.put(store.f);"
+        ))
+
+    def test_argument_below_field_level_rejected(self):
+        assert_rejected(self.SOURCE.format(
+            lattice="LOWV<X,X<IN",
+            body='@LOC("LOWV") int low = 1; store.put(low);',
+        ), "call-site")
+
+
+class TestImplicitCallConstraints:
+    def test_call_under_branch_needs_pcloc(self):
+        source = '''
+        @LATTICE("TGT")
+        class Sink {
+          @LOC("TGT") int t;
+          @LATTICE("STHIS<SV") @THISLOC("STHIS")
+          void put(@LOC("SV") int v) { this.t = v; }
+        }
+        @LATTICE("SNK")
+        class Main {
+          @LOC("SNK") Sink sink = new Sink();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              if (v > 0) { sink.put(v); }
+              SJ.broadcast(sink.t);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "implicit-flow")
+
+    def test_call_under_branch_with_pcloc_ok(self):
+        source = '''
+        @LATTICE("TGT")
+        class Sink {
+          @LOC("TGT") int t;
+          @LATTICE("STHIS<SV,SV<SPC") @THISLOC("STHIS") @PCLOC("SPC")
+          void put(@LOC("SV") int v) { this.t = v; }
+        }
+        @LATTICE("SNK")
+        class Main {
+          @LOC("SNK") Sink sink = new Sink();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              if (v > 0) { sink.put(v); }
+              if (v <= 0) { sink.put(v); }
+              SJ.broadcast(v);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+
+class TestTrustedCode:
+    def test_trusted_method_results_are_top(self):
+        source = '''
+        @TRUSTED
+        class Src {
+          int offset;
+          int next() { offset = offset + 1; return Device.readSensor(); }
+        }
+        @LATTICE("SRC")
+        class Main {
+          @LOC("SRC") Src src = new Src();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = src.next();
+              @LOC("B") int out = v;
+              SJ.broadcast(out);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+    def test_trusted_bodies_not_checked(self):
+        # the trusted body violates the flow-down rule internally; the
+        # checker must not complain
+        source = '''
+        @TRUSTED
+        class Src {
+          int a; int b;
+          int next() { a = b; b = a; return 1; }
+        }
+        @LATTICE("SRC")
+        class Main {
+          @LOC("SRC") Src src = new Src();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = src.next();
+              SJ.broadcast(v);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)

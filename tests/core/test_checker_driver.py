@@ -1,0 +1,106 @@
+"""Checker driver tests (CheckReport, structure checks)."""
+
+from repro.core import Check, check_program
+from repro.core.errors import Check as CheckEnum
+from tests.conftest import assert_stabilizing
+
+
+class TestStructure:
+    def test_no_event_loop_rejected(self):
+        report = check_program("class T { void m() { } }")
+        assert not report.self_stabilizing
+        assert report.errors_of(CheckEnum.STRUCTURE)
+
+    def test_multiple_event_loops_rejected(self):
+        report = check_program(
+            "class T { void a() { SSJAVA: while (true) { } } "
+            "void b() { SSJAVA: while (true) { } } }"
+        )
+        assert report.errors_of(CheckEnum.STRUCTURE)
+
+    def test_minimal_stabilizing_program(self):
+        report = assert_stabilizing(
+            "class T { void run() { SSJAVA: while (true) { "
+            "SJ.broadcast(1); } } }"
+        )
+        assert report.checked_scope == {("T", "run")}
+
+    def test_report_format_lists_errors(self):
+        report = check_program("class T { void m() { } }")
+        assert "no main event loop" in report.format()
+
+    def test_clean_report_format(self):
+        report = assert_stabilizing(
+            "class T { void run() { SSJAVA: while (true) { "
+            "SJ.broadcast(1); } } }"
+        )
+        assert "all checks passed" in report.format()
+
+    def test_loop_facts_exposed(self):
+        report = assert_stabilizing('''
+        @LATTICE("F")
+        class T {
+          @LOC("F") int f;
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA: while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              f = v;
+              SJ.broadcast(f);
+            }
+          }
+        }
+        ''')
+        assert report.loop_facts is not None
+        assert ("this", "f") in report.loop_facts.must_writes_end
+
+    def test_summaries_exposed(self):
+        report = assert_stabilizing('''
+        @LATTICE("F")
+        class T {
+          @LOC("F") int f;
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA: while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              store(v);
+              SJ.broadcast(1);
+            }
+          }
+          @LATTICE("ST<SV") @THISLOC("ST")
+          void store(@LOC("SV") int v) { this.f = v; }
+        }
+        ''')
+        summary = report.summaries[("T", "store")]
+        assert ("this", "f") in summary.must_writes
+
+    def test_checked_scope_excludes_trusted(self):
+        report = assert_stabilizing('''
+        @TRUSTED
+        class Hw { void go() { } }
+        @LATTICE("HW")
+        class T {
+          @LOC("HW") Hw hw = new Hw();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA: while (true) { hw.go(); SJ.broadcast(1); }
+          }
+        }
+        ''')
+        assert ("Hw", "go") not in report.checked_scope
+
+    def test_errors_of_filters_by_check(self):
+        report = check_program('''
+        class T {
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA: while (true) {
+              @LOC("B") int low = 0;
+              @LOC("IN") int up = low;
+              SJ.broadcast(up);
+            }
+          }
+        }
+        ''')
+        assert report.errors_of(Check.FLOW_DOWN)
+        assert not report.errors_of(Check.TERMINATION)

@@ -1,0 +1,228 @@
+"""Composite location tests: lexicographic ordering and the GLB of
+Fig. 3.2 (Section 3.4)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import composite as cl
+from repro.core.lattice import Lattice
+
+
+@pytest.fixture
+def method_lattice():
+    return Lattice(name="method", pairs=[("STR", "OBJ"), ("OBJ", "IN")])
+
+
+@pytest.fixture
+def field_lattice():
+    lattice = Lattice(
+        name="field", pairs=[("DIR2", "DIR1"), ("DIR1", "DIR0")], shared=["S"]
+    )
+    return lattice
+
+
+def loc(elements, lattices):
+    return cl.CompositeLocation(tuple(elements), tuple(lattices))
+
+
+class TestCompare:
+    def test_single_element_order(self, method_lattice):
+        low = loc(["STR"], [method_lattice])
+        high = loc(["OBJ"], [method_lattice])
+        assert cl.compare(low, high) is cl.Rel.LOWER
+        assert cl.compare(high, low) is cl.Rel.HIGHER
+
+    def test_equal(self, method_lattice):
+        a = loc(["OBJ"], [method_lattice])
+        b = loc(["OBJ"], [method_lattice])
+        assert cl.compare(a, b) is cl.Rel.EQUAL
+
+    def test_lexicographic_first_element_dominates(
+        self, method_lattice, field_lattice
+    ):
+        # ⟨STR, DIR0⟩ vs ⟨OBJ, DIR2⟩: STR < OBJ decides regardless of fields
+        a = loc(["STR", "DIR0"], [method_lattice, field_lattice])
+        b = loc(["OBJ", "DIR2"], [method_lattice, field_lattice])
+        assert cl.compare(a, b) is cl.Rel.LOWER
+
+    def test_second_element_decides_on_tie(self, method_lattice, field_lattice):
+        a = loc(["OBJ", "DIR2"], [method_lattice, field_lattice])
+        b = loc(["OBJ", "DIR0"], [method_lattice, field_lattice])
+        assert cl.compare(a, b) is cl.Rel.LOWER
+
+    def test_prefix_is_strictly_higher(self, method_lattice, field_lattice):
+        prefix = loc(["OBJ"], [method_lattice])
+        longer = loc(["OBJ", "DIR0"], [method_lattice, field_lattice])
+        assert cl.compare(prefix, longer) is cl.Rel.HIGHER
+        assert cl.compare(longer, prefix) is cl.Rel.LOWER
+
+    def test_different_lattices_incomparable(self, method_lattice, field_lattice):
+        other = Lattice(name="other", pairs=[("DIR2", "DIR1")])
+        a = loc(["OBJ", "DIR2"], [method_lattice, field_lattice])
+        b = loc(["OBJ", "DIR2"], [method_lattice, other])
+        assert cl.compare(a, b) is cl.Rel.INCOMPARABLE
+
+    def test_incomparable_elements(self, method_lattice):
+        lattice = Lattice(pairs=[("a", "t"), ("b", "t")])
+        a = loc(["a"], [lattice])
+        b = loc(["b"], [lattice])
+        assert cl.compare(a, b) is cl.Rel.INCOMPARABLE
+
+    def test_top_above_all(self, method_lattice):
+        a = loc(["IN"], [method_lattice])
+        assert cl.compare(cl.TOP_LOC, a) is cl.Rel.HIGHER
+        assert cl.compare(a, cl.TOP_LOC) is cl.Rel.LOWER
+        assert cl.compare(cl.TOP_LOC, cl.TOP_LOC) is cl.Rel.EQUAL
+
+    def test_bottom_below_all(self, method_lattice):
+        a = loc(["STR"], [method_lattice])
+        assert cl.compare(cl.BOT_LOC, a) is cl.Rel.LOWER
+        assert cl.compare(cl.BOT_LOC, cl.BOT_LOC) is cl.Rel.EQUAL
+        assert cl.compare(cl.BOT_LOC, cl.TOP_LOC) is cl.Rel.LOWER
+
+
+class TestGlb:
+    def test_comparable_returns_lower(self, method_lattice):
+        a = loc(["STR"], [method_lattice])
+        b = loc(["IN"], [method_lattice])
+        assert cl.glb(a, b) == a
+
+    def test_case1_truncates(self, method_lattice, field_lattice):
+        # first elements meet strictly below both: result is the bare meet
+        lattice = Lattice(pairs=[("m", "a"), ("m", "b")])
+        a = loc(["a", "DIR0"], [lattice, field_lattice])
+        b = loc(["b", "DIR1"], [lattice, field_lattice])
+        meet = cl.glb(a, b)
+        assert isinstance(meet, cl.CompositeLocation)
+        assert meet.elements == ("m",)
+
+    def test_case2_returns_lower_side(self, method_lattice, field_lattice):
+        a = loc(["STR", "DIR0"], [method_lattice, field_lattice])
+        b = loc(["OBJ", "DIR2"], [method_lattice, field_lattice])
+        assert cl.glb(a, b) == a
+
+    def test_case4_recurses(self, method_lattice, field_lattice):
+        a = loc(["OBJ", "DIR1"], [method_lattice, field_lattice])
+        b = loc(["OBJ", "DIR0"], [method_lattice, field_lattice])
+        assert cl.glb(a, b) == a
+
+    def test_prefix_glb_is_extension(self, method_lattice, field_lattice):
+        prefix = loc(["OBJ"], [method_lattice])
+        longer = loc(["OBJ", "DIR0"], [method_lattice, field_lattice])
+        assert cl.glb(prefix, longer) == longer
+
+    def test_mismatched_lattices_give_bottom(self, method_lattice, field_lattice):
+        other = Lattice(name="other", pairs=[("x", "y")])
+        a = loc(["OBJ", "DIR0"], [method_lattice, field_lattice])
+        b = loc(["OBJ", "x"], [method_lattice, other])
+        assert cl.glb(a, b) is cl.BOT_LOC
+
+    def test_glb_with_extremes(self, method_lattice):
+        a = loc(["OBJ"], [method_lattice])
+        assert cl.glb(cl.TOP_LOC, a) == a
+        assert cl.glb(a, cl.TOP_LOC) == a
+        assert cl.glb(cl.BOT_LOC, a) is cl.BOT_LOC
+
+    def test_glb_all(self, method_lattice):
+        locs = [
+            loc(["IN"], [method_lattice]),
+            loc(["OBJ"], [method_lattice]),
+            loc(["STR"], [method_lattice]),
+        ]
+        assert cl.glb_all(locs) == locs[-1]
+
+    def test_glb_all_empty_is_top(self):
+        assert cl.glb_all([]) is cl.TOP_LOC
+
+
+class TestFlowJudgments:
+    def test_strictly_down_allowed(self, method_lattice):
+        src = loc(["IN"], [method_lattice])
+        dst = loc(["OBJ"], [method_lattice])
+        assert cl.can_flow(src, dst).allowed
+
+    def test_up_rejected(self, method_lattice):
+        src = loc(["OBJ"], [method_lattice])
+        dst = loc(["IN"], [method_lattice])
+        assert not cl.can_flow(src, dst).allowed
+
+    def test_equal_non_shared_rejected(self, method_lattice):
+        a = loc(["OBJ"], [method_lattice])
+        assert not cl.can_flow(a, a).allowed
+
+    def test_equal_shared_allowed(self, field_lattice, method_lattice):
+        shared = loc(["OBJ", "S"], [method_lattice, field_lattice])
+        judgment = cl.can_flow(shared, shared)
+        assert judgment.allowed and judgment.via_shared
+
+    def test_top_source_flows_anywhere(self, method_lattice):
+        dst = loc(["IN"], [method_lattice])
+        assert cl.can_flow(cl.TOP_LOC, dst).allowed
+        assert cl.can_flow(cl.TOP_LOC, cl.TOP_LOC).allowed
+
+    def test_bottom_destination_accepts_all(self, method_lattice):
+        src = loc(["STR"], [method_lattice])
+        assert cl.can_flow(src, cl.BOT_LOC).allowed
+
+    def test_incomparable_rejected(self):
+        lattice = Lattice(pairs=[("a", "t"), ("b", "t")])
+        assert not cl.can_flow(loc(["a"], [lattice]), loc(["b"], [lattice])).allowed
+
+    def test_pc_top_unconstrained(self, method_lattice):
+        dst = loc(["IN"], [method_lattice])
+        assert cl.pc_allows(cl.TOP_LOC, dst).allowed
+
+    def test_pc_must_dominate(self, method_lattice):
+        pc = loc(["OBJ"], [method_lattice])
+        assert cl.pc_allows(pc, loc(["STR"], [method_lattice])).allowed
+        assert not cl.pc_allows(pc, loc(["IN"], [method_lattice])).allowed
+
+
+class TestHelpers:
+    def test_append(self, method_lattice, field_lattice):
+        base = loc(["OBJ"], [method_lattice])
+        extended = base.append("DIR0", field_lattice)
+        assert extended.elements == ("OBJ", "DIR0")
+
+    def test_is_shared(self, method_lattice, field_lattice):
+        assert loc(["OBJ", "S"], [method_lattice, field_lattice]).is_shared()
+        assert not loc(["OBJ", "DIR0"], [method_lattice, field_lattice]).is_shared()
+
+    def test_str_format(self, method_lattice):
+        assert str(loc(["OBJ"], [method_lattice])) == "⟨OBJ⟩"
+
+    def test_length_validation(self, method_lattice):
+        with pytest.raises(ValueError):
+            cl.CompositeLocation(("A",), ())
+        with pytest.raises(ValueError):
+            cl.CompositeLocation((), ())
+
+
+class TestProperties:
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_glb_below_both(self, data):
+        lattice = Lattice(pairs=[("b", "m1"), ("b", "m2"), ("m1", "t"),
+                                 ("m2", "t")])
+        names = ["b", "m1", "m2", "t"]
+        a = loc([data.draw(st.sampled_from(names))], [lattice])
+        b = loc([data.draw(st.sampled_from(names))], [lattice])
+        meet = cl.glb(a, b)
+        assert cl.leq(meet, a)
+        assert cl.leq(meet, b)
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_compare_antisymmetric(self, data):
+        lattice = Lattice(pairs=[("a", "b"), ("b", "c")])
+        field = Lattice(pairs=[("x", "y")])
+        names = ["a", "b", "c"]
+        fields = ["x", "y"]
+        def draw_loc():
+            first = data.draw(st.sampled_from(names))
+            if data.draw(st.booleans()):
+                return loc([first, data.draw(st.sampled_from(fields))],
+                           [lattice, field])
+            return loc([first], [lattice])
+        l1, l2 = draw_loc(), draw_loc()
+        assert cl.compare(l1, l2) is cl.compare(l2, l1).flipped()

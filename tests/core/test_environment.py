@@ -1,0 +1,162 @@
+"""Location environment resolution tests (Sections 2.2, 3.6)."""
+
+from repro.core import composite as cl
+from repro.core.environment import LocationWorld
+from repro.core.errors import DiagnosticSink
+from tests.conftest import analyze
+
+
+def world_for(source: str):
+    info = analyze(source)
+    sink = DiagnosticSink()
+    return LocationWorld(info, sink), sink
+
+
+SOURCE = '''
+@LATTICE("LO<HI,S*")
+class Rec {
+  @LOC("HI") int hi;
+  @LOC("LO") int lo;
+  @LOC("S") int counter;
+}
+@METHODDEFAULT("DEF1<DEF2")
+class Main {
+  @LATTICE("A<B,B<C")
+  @THISLOC("A")
+  @RETURNLOC("A")
+  @PCLOC("C")
+  int annotated(@LOC("C") int input) {
+    @LOC("B") int mid = input;
+    @LOC("A,HI") int deep = 0;
+    return mid;
+  }
+  void defaulted() { }
+}
+'''
+
+
+class TestFieldEnvironments:
+    def test_field_lattice_built(self):
+        world, _ = world_for(SOURCE)
+        lattice = world.field_lattice("Rec")
+        assert lattice.lt("LO", "HI")
+        assert lattice.is_shared("S")
+
+    def test_field_elements(self):
+        world, _ = world_for(SOURCE)
+        assert world.field_element("Rec", "hi") == "HI"
+        assert world.field_element("Rec", "counter") == "S"
+        assert world.field_element("Rec", "missing") is None
+
+    def test_undeclared_field_loc_warns_and_registers(self):
+        world, sink = world_for(
+            '@LATTICE("A<B") class T { @LOC("ELSEWHERE") int f; } '
+            "class M { void run() { SSJAVA: while (true) { } } }"
+        )
+        assert sink.warnings()
+        assert world.field_element("T", "f") == "ELSEWHERE"
+
+
+class TestMethodEnvironments:
+    def test_method_lattice_from_annotation(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        assert env.lattice.lt("A", "C")
+
+    def test_method_default_lattice(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "defaulted")
+        assert env.lattice.lt("DEF1", "DEF2")
+
+    def test_this_and_pc_and_return(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        this = world.this_location(env)
+        assert isinstance(this, cl.CompositeLocation)
+        assert this.elements == ("A",)
+        pc = world.pc_location(env)
+        assert pc.elements == ("C",)
+        ret = world.return_location(env)
+        assert ret.elements == ("A",)
+
+    def test_default_pc_is_top(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "defaulted")
+        assert isinstance(world.pc_location(env), cl.TopLocType)
+
+    def test_default_return_is_bottom(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "defaulted")
+        assert isinstance(world.return_location(env), cl.BotLocType)
+
+    def test_param_location(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        param = env.method.params[0]
+        loc = world.param_location(env, param)
+        assert loc.elements == ("C",)
+
+    def test_composite_var_location(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        loc = world.var_location(env, "deep")
+        assert loc.elements == ("A", "HI")
+        assert loc.lattices[1] is world.field_lattice("Rec")
+
+    def test_unknown_var_gives_none(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        assert world.var_location(env, "nothere") is None
+
+    def test_ambiguous_field_element_reported(self):
+        world, sink = world_for(
+            '@LATTICE("P<Q") class A { @LOC("P") int x; } '
+            '@LATTICE("P<R") class B { @LOC("P") int y; } '
+            'class M { @LATTICE("T<U") @THISLOC("T") void run() { '
+            '@LOC("T,P") int v = 0; '
+            "SSJAVA: while (true) { SJ.broadcast(v); } } }"
+        )
+        env = world.env_of("M", "run")
+        # resolving "T,P" is ambiguous between classes A and B
+        assert world.var_location(env, "v") is None
+        assert any("ambiguous" in d.message for d in sink.errors())
+
+    def test_qualified_element_disambiguates(self):
+        world, sink = world_for(
+            '@LATTICE("P<Q") class A { @LOC("P") int x; } '
+            '@LATTICE("P<R") class B { @LOC("P") int y; } '
+            'class M { @LATTICE("T<U") @THISLOC("T") void run() { '
+            '@LOC("T,A.P") int v = 0; '
+            "SSJAVA: while (true) { SJ.broadcast(v); } } }"
+        )
+        env = world.env_of("M", "run")
+        loc = world.var_location(env, "v")
+        assert loc is not None
+        assert loc.lattices[1] is world.field_lattice("A")
+
+
+class TestDelta:
+    def test_delta_inserts_fresh_element(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        base = world.var_location(env, "deep")  # ⟨A, HI⟩
+        delta = world.delta(base)
+        assert cl.lt(delta, base)
+        lo = cl.CompositeLocation(
+            ("A", "LO"), (env.lattice, world.field_lattice("Rec"))
+        )
+        assert cl.lt(lo, delta)
+
+    def test_delta_is_deterministic(self):
+        world, _ = world_for(SOURCE)
+        env = world.env_of("Main", "annotated")
+        base = world.var_location(env, "deep")
+        assert world.delta(base) == world.delta(base)
+
+    def test_trusted_marking(self):
+        world, _ = world_for(
+            "@TRUSTED class S { void go() { } } "
+            "class M { void run() { SSJAVA: while (true) { } } }"
+        )
+        env = world.env_of("S", "go")
+        assert env.trusted

@@ -1,0 +1,69 @@
+"""Diagnostic infrastructure tests."""
+
+from repro.core.errors import (
+    Check,
+    Diagnostic,
+    DiagnosticSink,
+    Severity,
+    first_error,
+)
+from repro.lang import ast
+
+
+class TestDiagnostic:
+    def test_str_with_position_and_context(self):
+        diag = Diagnostic(
+            Severity.ERROR, Check.FLOW_DOWN, "bad flow", 3, 7, "C.m"
+        )
+        text = str(diag)
+        assert "error(flow-down)" in text
+        assert "3:7" in text
+        assert "[C.m]" in text
+        assert "bad flow" in text
+
+    def test_str_without_position(self):
+        diag = Diagnostic(Severity.WARNING, Check.SHARED, "msg")
+        assert "-" in str(diag)
+        assert "warning(shared)" in str(diag)
+
+
+class TestSink:
+    def test_report_with_node_position(self):
+        sink = DiagnosticSink()
+        node = ast.IntLit(value=1, line=5, col=2)
+        sink.report(Check.EVICTION, "stale", node=node, context="X.m")
+        diag = sink.diagnostics[0]
+        assert (diag.line, diag.col) == (5, 2)
+        assert diag.context == "X.m"
+
+    def test_severity_filters(self):
+        sink = DiagnosticSink()
+        sink.report(Check.LATTICE, "err")
+        sink.report(Check.LATTICE, "warn", severity=Severity.WARNING)
+        sink.report(Check.LATTICE, "info", severity=Severity.INFO)
+        assert len(sink.errors()) == 1
+        assert len(sink.warnings()) == 1
+        assert len(sink.diagnostics) == 3
+
+    def test_ok_property(self):
+        sink = DiagnosticSink()
+        assert sink.ok
+        sink.report(Check.LINEAR, "w", severity=Severity.WARNING)
+        assert sink.ok
+        sink.report(Check.LINEAR, "e")
+        assert not sink.ok
+
+    def test_extend_merges(self):
+        first, second = DiagnosticSink(), DiagnosticSink()
+        first.report(Check.LATTICE, "a")
+        second.report(Check.SHARED, "b")
+        first.extend(second)
+        assert len(first.diagnostics) == 2
+
+    def test_first_error_helper(self):
+        sink = DiagnosticSink()
+        assert first_error(sink) is None
+        sink.report(Check.TERMINATION, "warn", severity=Severity.WARNING)
+        sink.report(Check.TERMINATION, "boom")
+        found = first_error(sink)
+        assert found is not None and found.message == "boom"

@@ -1,0 +1,245 @@
+"""Definitely-written (eviction) analysis tests (Section 4.2)."""
+
+from tests.conftest import assert_rejected, assert_stabilizing
+
+
+BOX = '''
+@LATTICE("LO<HI")
+class Box {{
+  @LOC("HI") int hi;
+  @LOC("LO") int lo;
+}}
+@LATTICE("BOXF")
+class Main {{
+  @LOC("BOXF") Box box = new Box();
+  @LATTICE("B<X,X<IN")
+  @THISLOC("X")
+  void run() {{
+    SSJAVA:
+    while (true) {{
+      @LOC("IN") int v = Device.readSensor();
+      {body}
+    }}
+  }}
+}}
+'''
+
+
+class TestHeapEviction:
+    def test_overwritten_every_iteration_ok(self):
+        assert_stabilizing(BOX.format(
+            body="box.hi = v; box.lo = box.hi; SJ.broadcast(box.lo);"
+        ))
+
+    def test_read_before_conditional_write_rejected(self):
+        assert_rejected(BOX.format(
+            body="if (v > 0) { box.hi = v; } "
+                 "box.lo = box.hi; SJ.broadcast(box.lo);"
+        ), "eviction")
+
+    def test_read_after_write_in_same_iteration_ok(self):
+        # write happens conditionally in both arms: intersection holds
+        assert_stabilizing(BOX.format(
+            body="if (v > 0) { box.hi = v; } else { box.hi = 0; } "
+                 "box.lo = box.hi; SJ.broadcast(box.lo);"
+        ))
+
+    def test_loop_invariant_read_ok(self):
+        # hi is never written inside the loop: reads are loop invariant
+        assert_stabilizing(BOX.format(
+            body="box.lo = box.hi; SJ.broadcast(box.lo);"
+        ))
+
+    def test_read_before_unconditional_later_write_ok(self):
+        # stale for at most one iteration: overwritten every iteration
+        assert_stabilizing(BOX.format(
+            body="box.lo = box.hi; box.hi = v; SJ.broadcast(box.lo);"
+        ))
+
+    def test_write_only_in_one_branch_then_read_rejected(self):
+        assert_rejected(BOX.format(
+            body="if (v > 0) { box.hi = v; } else { SJ.broadcast(v); } "
+                 "box.lo = box.hi; SJ.broadcast(box.lo);"
+        ), "eviction")
+
+
+class TestLocalVariableEviction:
+    def test_loop_local_variables_are_fresh(self):
+        assert_stabilizing(BOX.format(
+            body='@LOC("B") int t = v; SJ.broadcast(t);'
+        ))
+
+    def test_pre_loop_variable_stale_read_rejected(self):
+        source = '''
+        class Main {
+          @LATTICE("B<X,X<IN")
+          @THISLOC("X")
+          void run() {
+            @LOC("B") int keep = 0;
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              SJ.broadcast(keep);
+              if (v > 0) { keep = v - 1; }
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "eviction")
+
+    def test_pre_loop_variable_overwritten_every_iteration_ok(self):
+        source = '''
+        class Main {
+          @LATTICE("B<X,X<IN")
+          @THISLOC("X")
+          void run() {
+            @LOC("B") int keep = 0;
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              SJ.broadcast(keep);
+              keep = v - 1;
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+
+class TestInterprocedural:
+    CALLEE_WRITES = '''
+    @LATTICE("LO<HI")
+    class Box {{
+      @LOC("HI") int hi;
+      @LOC("LO") int lo;
+      @LATTICE("BTHIS<BV")
+      @THISLOC("BTHIS")
+      void refresh(@LOC("BV") int v) {{
+        this.hi = v;
+        this.lo = this.hi;
+      }}
+      @LATTICE("BR<BTHIS2")
+      @THISLOC("BTHIS2")
+      @RETURNLOC("BR")
+      int read() {{
+        @LOC("BR") int r = this.lo;
+        return r;
+      }}
+    }}
+    @LATTICE("BOXF")
+    class Main {{
+      @LOC("BOXF") Box box = new Box();
+      @LATTICE("B<X,X<IN")
+      @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") int v = Device.readSensor();
+          {body}
+        }}
+      }}
+    }}
+    '''
+
+    def test_callee_must_writes_count(self):
+        assert_stabilizing(self.CALLEE_WRITES.format(
+            body="box.refresh(v); @LOC(\"B\") int out = box.read(); "
+                 "SJ.broadcast(out);"
+        ))
+
+    def test_callee_reads_checked_in_caller_context(self):
+        # read() reads box.lo which is never written: loop invariant, fine
+        assert_stabilizing(self.CALLEE_WRITES.format(
+            body="@LOC(\"B\") int out = box.read(); SJ.broadcast(out); "
+                 "box.refresh(v);"
+        ))
+
+    def test_conditional_call_write_not_definite(self):
+        assert_rejected(self.CALLEE_WRITES.format(
+            body="if (v > 0) { box.refresh(v); } "
+                 "@LOC(\"B\") int out = box.read(); SJ.broadcast(out);"
+        ), "eviction")
+
+
+class TestArrays:
+    ARRAY = '''
+    @LATTICE("ARRF,ARRF*")
+    class Main {{
+      @LOC("ARRF") float[] data = new float[4];
+      @LATTICE("B<X,X<I,I<IN,I*")
+      @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") float v = Device.readTemp();
+          {body}
+        }}
+      }}
+    }}
+    '''
+
+    def test_fill_loop_is_definite_write(self):
+        assert_stabilizing(self.ARRAY.format(
+            body="for (@LOC(\"I\") int i = 0; i < data.length; i++) "
+                 "{ data[i] = v; } "
+                 "@LOC(\"B\") float out = data[0]; SJ.broadcast(out);"
+        ))
+
+    def test_single_element_write_not_definite(self):
+        assert_rejected(self.ARRAY.format(
+            body="data[0] = v; "
+                 "@LOC(\"B\") float out = data[1]; SJ.broadcast(out);"
+        ), "eviction")
+
+    def test_sj_fill_is_definite_write(self):
+        assert_stabilizing(self.ARRAY.format(
+            body="SJ.fill(data, v); "
+                 "@LOC(\"B\") float out = data[2]; SJ.broadcast(out);"
+        ))
+
+    def test_partial_fill_loop_not_detected(self):
+        # bound is not arr.length: conservatively not a full overwrite
+        assert_rejected(self.ARRAY.format(
+            body="for (@LOC(\"I\") int i = 0; i < 2; i++) { data[i] = v; } "
+                 "@LOC(\"B\") float out = data[3]; SJ.broadcast(out);"
+        ), "eviction")
+
+
+class TestBufferEviction:
+    def test_insert_per_iteration_ok(self):
+        source = '''
+        @LATTICE("HIST")
+        class Main {
+          @LOC("HIST") OrderedBuffer h = new OrderedBuffer(3);
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") float v = Device.readTemp();
+              h.insert(v);
+              @LOC("B") float avg = (h.get(0) + h.get(1) + h.get(2)) / 3.0;
+              SJ.broadcast(avg);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+    def test_conditional_insert_rejected(self):
+        source = '''
+        @LATTICE("HIST")
+        class Main {
+          @LOC("HIST") OrderedBuffer h = new OrderedBuffer(3);
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") float v = Device.readTemp();
+              if (v > 0.0) { h.insert(v); }
+              @LOC("B") float last = h.get(0);
+              SJ.broadcast(last);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "eviction")

@@ -1,0 +1,348 @@
+"""Flow-down rule tests (Section 4.1, Fig. 4.1)."""
+
+from tests.conftest import assert_rejected, assert_stabilizing, loop_program
+
+
+class TestBasicFlows:
+    def test_literal_flows_anywhere(self):
+        assert_stabilizing(loop_program(
+            '@LOC("B") int x = 5; SJ.broadcast(x);'
+        ))
+
+    def test_input_is_top(self):
+        assert_stabilizing(loop_program(
+            '@LOC("IN") int v = Device.readSensor(); SJ.broadcast(v);'
+        ))
+
+    def test_downward_assignment_allowed(self):
+        assert_stabilizing(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("B") int w = v; SJ.broadcast(w);'
+        ))
+
+    def test_upward_assignment_rejected(self):
+        assert_rejected(loop_program(
+            '@LOC("B") int w = 0;'
+            '@LOC("IN") int v = w;'
+            'SJ.broadcast(v);'
+        ), "flow-down")
+
+    def test_equal_location_rejected(self):
+        assert_rejected(loop_program(
+            '@LOC("B") int a = 0; @LOC("B") int b = a; SJ.broadcast(b);'
+        ), "flow-down")
+
+    def test_equal_shared_allowed(self):
+        # a is cleared from ⊤ each iteration, then updated within its own
+        # shared location — the paper's read-modify-write pattern
+        assert_stabilizing(loop_program(
+            '@LOC("S") int a = Device.readSensor();'
+            'a = a + 1;'
+            'SJ.broadcast(a);',
+            lattice="S<IN,S*",
+        ))
+
+    def test_equal_shared_without_clearing_rejected(self):
+        # b receives only same-shared-location values: never cleared
+        assert_rejected(loop_program(
+            '@LOC("S") int a = Device.readSensor();'
+            '@LOC("S") int b = a;'
+            'SJ.broadcast(b);',
+            lattice="S<IN,S*",
+        ), "shared")
+
+    def test_incomparable_rejected(self):
+        assert_rejected(loop_program(
+            '@LOC("P") int a = Device.readSensor();'
+            '@LOC("Q") int b = a;'
+            'SJ.broadcast(b);',
+            lattice="P<IN,Q<IN",
+        ), "flow-down")
+
+    def test_operation_takes_glb(self):
+        # GLB(P, IN) = P flows into B fine
+        assert_stabilizing(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("P") int a = v;'
+            '@LOC("B") int c = a + v;'
+            'SJ.broadcast(c);',
+            lattice="B<P,P<IN",
+        ))
+
+    def test_compound_assignment_needs_shared(self):
+        assert_rejected(loop_program(
+            '@LOC("P") int a = Device.readSensor(); a += 1; SJ.broadcast(a);',
+            lattice="P<IN",
+        ), "flow-down")
+        assert_stabilizing(loop_program(
+            '@LOC("P") int a = Device.readSensor(); a += 1; SJ.broadcast(a);',
+            lattice="P<IN,P*",
+        ))
+
+
+FIELD_PROGRAM = '''
+@LATTICE("LO<HI")
+class Box {{
+  @LOC("HI") int hi;
+  @LOC("LO") int lo;
+}}
+class Main {{
+  @LATTICE("BOXL<X,X<IN")
+  @THISLOC("X")
+  void run() {{
+    @LOC("BOXL") Box box = new Box();
+    SSJAVA:
+    while (true) {{
+      @LOC("IN") int v = Device.readSensor();
+      {body}
+    }}
+  }}
+}}
+'''
+
+
+class TestFieldFlows:
+    def test_field_write_from_above(self):
+        assert_stabilizing(FIELD_PROGRAM.format(
+            body="box.hi = v; box.lo = box.hi; SJ.broadcast(box.lo);"
+        ))
+
+    def test_field_upward_flow_rejected(self):
+        assert_rejected(FIELD_PROGRAM.format(
+            body="box.lo = v; box.hi = box.lo; SJ.broadcast(box.hi);"
+        ), "flow-down")
+
+    def test_composite_location_derived_from_base(self):
+        # writing through a lower base: values must come from above the
+        # composite ⟨BOXL, HI⟩
+        assert_stabilizing(FIELD_PROGRAM.format(
+            body="box.hi = v; SJ.broadcast(box.hi);"
+        ))
+
+    def test_static_final_reads_are_top(self):
+        source = '''
+        class Main {
+          static final int LIMIT = 10;
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("B") int w = LIMIT + v;
+              SJ.broadcast(w);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+    def test_non_final_static_rejected(self):
+        source = '''
+        class Main {
+          static int counter;
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("B") int w = counter;
+              SJ.broadcast(w);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "flow-down")
+
+
+class TestArrays:
+    def test_array_store_and_load(self):
+        source = loop_program(
+            'if (buf.length > 0) { }'
+            '@LOC("IN") int v = Device.readSensor();'
+            'for (@LOC("I") int i = 0; i < buf.length; i++) { buf[i] = v; }'
+            '@LOC("B") int out = buf[0];'
+            'SJ.broadcast(out);',
+            lattice="B<ARR,ARR<I,I<IN,I*,ARR*",
+        )
+        source = source.replace(
+            "void run() {",
+            'void run() {\n      @LOC("ARR") int[] buf = new int[4];',
+        )
+        assert_stabilizing(source)
+
+    def test_array_below_index_required(self):
+        # the array must be strictly below the index value
+        source = loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("I") int i = 0;'
+            'arr[i] = v;'
+            'SJ.broadcast(arr[0]);',
+            lattice="I<ARR,ARR<IN,I*,ARR*",
+        ).replace(
+            "void run() {",
+            'void run() {\n      @LOC("ARR") int[] arr = new int[2];',
+        )
+        assert_rejected(source, "flow-down")
+
+    def test_array_read_takes_glb_with_index(self):
+        source = loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            'for (@LOC("I") int i = 0; i < a.length; i++) { a[i] = v; }'
+            '@LOC("LOW") int x = a[0];'
+            'SJ.broadcast(x);',
+            lattice="LOW<ARR,ARR<I,I<IN,I*,ARR*",
+        ).replace(
+            "void run() {",
+            'void run() {\n      @LOC("ARR") int[] a = new int[2];',
+        )
+        assert_stabilizing(source)
+
+    def test_array_length_is_constant(self):
+        source = loop_program(
+            '@LOC("B") int n = data.length; SJ.broadcast(n);',
+        ).replace(
+            "void run() {",
+            'void run() {\n      @LOC("ARRL") int[] data = new int[3];',
+        ).replace('@LATTICE("B<X,X<IN")', '@LATTICE("B<X,X<IN,ARRL<IN")')
+        assert_stabilizing(source)
+
+
+class TestBuffers:
+    def test_insert_requires_higher_source(self):
+        source = '''
+        @LATTICE("HIST")
+        class Main {
+          @LOC("HIST") OrderedBuffer h = new OrderedBuffer(3);
+          @LATTICE("OUT<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") float v = Device.readTemp();
+              h.insert(v);
+              @LOC("OUT") float first = h.get(0);
+              SJ.broadcast(first);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+    def test_insert_from_below_rejected(self):
+        source = '''
+        @LATTICE("HIST")
+        class Main {
+          @LOC("HIST") OrderedBuffer h = new OrderedBuffer(3);
+          @LATTICE("OUT<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("OUT") float low = 0.0;
+              h.insert(low);
+              SJ.broadcast(h.get(0));
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "flow-down")
+
+
+class TestReferenceAliasing:
+    def test_same_location_alias_allowed(self):
+        source = '''
+        @LATTICE("F2<F1")
+        class Rec { @LOC("F1") int f1; @LOC("F2") int f2; }
+        @LATTICE("RECL")
+        class Main {
+          @LOC("RECL") Rec rec = new Rec();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("X,RECL") Rec r = this.rec;
+              r.f1 = v;
+              r.f2 = r.f1;
+              SJ.broadcast(r.f2);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+    def test_alias_at_different_location_rejected(self):
+        source = '''
+        @LATTICE("F2<F1")
+        class Rec { @LOC("F1") int f1; @LOC("F2") int f2; }
+        @LATTICE("RECL")
+        class Main {
+          @LOC("RECL") Rec rec = new Rec();
+          @LATTICE("B<RL,RL<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("RL") Rec r = this.rec;
+              r.f1 = v;
+              SJ.broadcast(r.f1);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "flow-down")
+
+
+class TestAnnotationCompleteness:
+    def test_missing_var_annotation_reported(self):
+        assert_rejected(loop_program(
+            "int v = Device.readSensor(); SJ.broadcast(v);"
+        ), "annotation")
+
+    def test_unreachable_methods_unchecked(self):
+        # a completely unannotated method outside the loop scope is fine
+        source = loop_program(
+            '@LOC("B") int x = 1; SJ.broadcast(x);',
+            extra="class Helper { int raw(int a) { int t = a; return t; } }",
+        )
+        assert_stabilizing(source)
+
+    def test_missing_field_annotation_reported(self):
+        source = '''
+        class Rec { int f; }
+        @LATTICE("RECL")
+        class Main {
+          @LOC("RECL") Rec rec = new Rec();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              rec.f = v;
+              SJ.broadcast(rec.f);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "annotation")
+
+
+class TestDeltaLocations:
+    def test_delta_sits_between(self):
+        source = '''
+        @LATTICE("LO<HI")
+        class Rec { @LOC("HI") int hi; @LOC("LO") int lo; }
+        @LATTICE("RECL")
+        class Main {
+          @LOC("RECL") Rec rec = new Rec();
+          @LATTICE("X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              rec.hi = v;
+              @DELTA("X,RECL,HI") int mid = rec.hi;
+              rec.lo = mid;
+              SJ.broadcast(rec.lo);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)

@@ -1,0 +1,162 @@
+"""Additional flow-checker coverage: @GLOBALLOC, deep composite paths,
+@PCLOC inside method bodies, and nested object graphs."""
+
+from tests.conftest import assert_rejected, assert_stabilizing
+
+
+class TestGlobalLoc:
+    SOURCE = '''
+    class Main {{
+      static int tick;
+      @LATTICE("B<GLB,GLB<X,X<IN") @THISLOC("X") {global_ann}
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") int v = Device.readSensor();
+          tick = v;
+          @LOC("B") int out = tick;
+          SJ.broadcast(out);
+        }}
+      }}
+    }}
+    '''
+
+    def test_mutable_static_with_globalloc(self):
+        assert_stabilizing(self.SOURCE.format(global_ann='@GLOBALLOC("GLB")'))
+
+    def test_mutable_static_without_globalloc_rejected(self):
+        assert_rejected(self.SOURCE.format(global_ann=""), "flow-down")
+
+    def test_globalloc_respects_ordering(self):
+        # writing a static at GLB from something below it must fail
+        source = '''
+        class Main {
+          static int tick;
+          @LATTICE("B<GLB,GLB<X,X<IN") @THISLOC("X") @GLOBALLOC("GLB")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("B") int low = 1;
+              tick = low;
+              SJ.broadcast(tick);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "flow-down")
+
+
+class TestDeepCompositePaths:
+    SOURCE = '''
+    @LATTICE("IV<IW")
+    class Inner {{ @LOC("IW") int w; @LOC("IV") int v; }}
+    @LATTICE("OLOW<OHIGH")
+    class Outer {{
+      @LOC("OHIGH") Inner high = new Inner();
+      @LOC("OLOW") Inner low = new Inner();
+    }}
+    @LATTICE("ROOT")
+    class Main {{
+      @LOC("ROOT") Outer outer = new Outer();
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") int v = Device.readSensor();
+          {body}
+        }}
+      }}
+    }}
+    '''
+
+    def test_three_level_descent(self):
+        assert_stabilizing(self.SOURCE.format(body='''
+          outer.high.w = v;
+          outer.high.v = outer.high.w;
+          outer.low.w = outer.high.v;
+          outer.low.v = outer.low.w;
+          SJ.broadcast(outer.low.v);
+        '''))
+
+    def test_cross_object_upward_flow_rejected(self):
+        assert_rejected(self.SOURCE.format(body='''
+          outer.low.w = v;
+          outer.high.w = outer.low.w;
+          SJ.broadcast(outer.high.w);
+        '''), "flow-down")
+
+    def test_inner_field_upward_flow_rejected(self):
+        assert_rejected(self.SOURCE.format(body='''
+          outer.high.v = v;
+          outer.high.w = outer.high.v;
+          SJ.broadcast(outer.high.w);
+        '''), "flow-down")
+
+
+class TestPcLocInMethodBodies:
+    def test_pcloc_constrains_callee_writes(self):
+        # the callee declares a PCLOC below one of its own locations and
+        # then writes above it: rejected inside the callee itself
+        source = '''
+        @LATTICE("T")
+        class Main {
+          @LOC("T") int t;
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              t = v;
+              helper(v);
+              SJ.broadcast(t);
+            }
+          }
+          @LATTICE("HIGHV<SPC,SPC<HV,HTHIS") @THISLOC("HTHIS") @PCLOC("SPC")
+          void helper(@LOC("HV") int v) {
+            @LOC("HIGHV") int fine = v;
+            SJ.broadcast(fine);
+          }
+        }
+        '''
+        assert_stabilizing(source)
+        broken = source.replace(
+            '@LATTICE("HIGHV<SPC,SPC<HV,HTHIS")',
+            '@LATTICE("SPC<HIGHV,HIGHV<HV,HTHIS")',
+        )
+        assert_rejected(broken, "implicit-flow")
+
+
+class TestStringsAndBooleans:
+    def test_string_values_flow_down(self):
+        assert_stabilizing('''
+        class Main {
+          @LATTICE("B<MSG,MSG<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("MSG") String msg = "v=" + v;
+              @LOC("B") String out = msg + "!";
+              SJ.broadcast(out);
+            }
+          }
+        }
+        ''')
+
+    def test_boolean_conditions_carry_information(self):
+        assert_rejected('''
+        class Main {
+          @LATTICE("B<FLAG,FLAG<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("B") boolean low = v > 0;
+              @LOC("FLAG") boolean high;
+              if (low) { high = true; } else { high = false; }
+              SJ.broadcast(high);
+            }
+          }
+        }
+        ''', "implicit-flow")

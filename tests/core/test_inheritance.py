@@ -1,0 +1,96 @@
+"""Inheritance checking tests (Section 3.5)."""
+
+from tests.conftest import assert_rejected, assert_stabilizing
+
+
+def with_subclass(sub_class: str, body: str = "SJ.broadcast(1);") -> str:
+    return f'''
+    @LATTICE("LO<HI")
+    class Base {{
+      @LOC("HI") int hi;
+      @LOC("LO") int lo;
+      @LATTICE("BT<BV") @THISLOC("BT")
+      void set(@LOC("BV") int v) {{ this.hi = v; }}
+    }}
+    {sub_class}
+    @LATTICE("OBJ")
+    class Main {{
+      @LOC("OBJ") Base obj = new Base();
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") int v = Device.readSensor();
+          obj.set(v);
+          obj.lo = obj.hi;
+          {body}
+        }}
+      }}
+    }}
+    '''
+
+
+class TestFieldHierarchy:
+    def test_subclass_inherits_parent_lattice(self):
+        assert_stabilizing(with_subclass(
+            '@LATTICE("EXTRA<LO") class Sub extends Base '
+            '{ @LOC("EXTRA") int extra; }'
+        ))
+
+    def test_subclass_adding_parent_ordering_rejected(self):
+        # the parent leaves nothing unordered here, so order two fresh
+        # parent-level names: use a parent with incomparable locations
+        source = '''
+        @LATTICE("A<T,B<T")
+        class Base { @LOC("A") int a; @LOC("B") int b; @LOC("T") int t; }
+        @LATTICE("A<B")
+        class Sub extends Base { }
+        class Main {
+          @LATTICE("B2<X,X<IN") @THISLOC("X")
+          void run() { SSJAVA: while (true) { SJ.broadcast(1); } }
+        }
+        '''
+        assert_rejected(source, "inheritance")
+
+    def test_contradictory_subclass_ordering_is_cycle(self):
+        source = '''
+        @LATTICE("A<B")
+        class Base { @LOC("A") int a; @LOC("B") int b; }
+        @LATTICE("B<A")
+        class Sub extends Base { }
+        class Main {
+          @LATTICE("B2<X,X<IN") @THISLOC("X")
+          void run() { SSJAVA: while (true) { SJ.broadcast(1); } }
+        }
+        '''
+        assert_rejected(source, "lattice")
+
+
+class TestOverrides:
+    def test_matching_override_ok(self):
+        assert_stabilizing(with_subclass(
+            'class Sub extends Base { '
+            '@LATTICE("BT<BV") @THISLOC("BT") '
+            'void set(@LOC("BV") int v) { this.hi = v; } }'
+        ))
+
+    def test_override_with_different_param_loc_rejected(self):
+        assert_rejected(with_subclass(
+            'class Sub extends Base { '
+            '@LATTICE("BT<OTHER") @THISLOC("BT") '
+            'void set(@LOC("OTHER") int v) { this.hi = v; } }'
+        ), "inheritance")
+
+    def test_override_with_different_thisloc_rejected(self):
+        assert_rejected(with_subclass(
+            'class Sub extends Base { '
+            '@LATTICE("ELSEWHERE<BV") @THISLOC("ELSEWHERE") '
+            'void set(@LOC("BV") int v) { this.hi = v; } }'
+        ), "inheritance")
+
+    def test_override_dropping_lattice_order_rejected(self):
+        assert_rejected(with_subclass(
+            'class Sub extends Base { '
+            '@LATTICE("BT,BV") @THISLOC("BT") '
+            'void set(@LOC("BV") int v) { } }'
+        ), "inheritance")

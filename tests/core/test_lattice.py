@@ -1,0 +1,204 @@
+"""Lattice machinery tests (Section 3.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lattice import (
+    BOTTOM,
+    Lattice,
+    LatticeError,
+    NotALatticeError,
+    TOP,
+)
+
+
+def chain(*names: str) -> Lattice:
+    """A chain lattice: names[0] < names[1] < ... (lowest first)."""
+    lattice = Lattice(name="chain")
+    for low, high in zip(names, names[1:]):
+        lattice.add_ordering(low, high)
+    return lattice
+
+
+class TestOrdering:
+    def test_direct_ordering(self):
+        lattice = chain("a", "b")
+        assert lattice.lt("a", "b")
+        assert not lattice.lt("b", "a")
+
+    def test_transitivity(self):
+        lattice = chain("a", "b", "c")
+        assert lattice.lt("a", "c")
+
+    def test_strict_vs_reflexive(self):
+        lattice = chain("a", "b")
+        assert not lattice.lt("a", "a")
+        assert lattice.leq("a", "a")
+
+    def test_top_above_everything(self):
+        lattice = chain("a", "b")
+        assert lattice.lt("a", TOP)
+        assert lattice.lt("b", TOP)
+        assert lattice.lt(BOTTOM, TOP)
+
+    def test_bottom_below_everything(self):
+        lattice = chain("a", "b")
+        assert lattice.lt(BOTTOM, "a")
+
+    def test_incomparable_elements(self):
+        lattice = Lattice(pairs=[("a", "t"), ("b", "t")])
+        assert not lattice.comparable("a", "b")
+
+    def test_unknown_element_raises(self):
+        with pytest.raises(LatticeError):
+            chain("a", "b").lt("a", "zz")
+
+    def test_self_ordering_rejected(self):
+        with pytest.raises(LatticeError):
+            Lattice().add_ordering("a", "a")
+
+    def test_cycle_detected(self):
+        lattice = Lattice(pairs=[("a", "b"), ("b", "c"), ("c", "a")])
+        with pytest.raises(LatticeError):
+            lattice.validate()
+
+
+class TestGlbLub:
+    def test_glb_of_comparable(self):
+        lattice = chain("a", "b", "c")
+        assert lattice.glb("a", "c") == "a"
+        assert lattice.glb("c", "a") == "a"
+
+    def test_glb_of_diamond(self):
+        lattice = Lattice(
+            pairs=[("bot", "l"), ("bot", "r"), ("l", "top"), ("r", "top")]
+        )
+        assert lattice.glb("l", "r") == "bot"
+        assert lattice.lub("l", "r") == "top"
+
+    def test_glb_falls_to_bottom(self):
+        lattice = Lattice(pairs=[("a", "t"), ("b", "t")])
+        assert lattice.glb("a", "b") == BOTTOM
+
+    def test_lub_rises_to_top(self):
+        lattice = Lattice(pairs=[("b", "x"), ("b", "y")])
+        assert lattice.lub("x", "y") == TOP
+
+    def test_ambiguous_glb_raises(self):
+        # two maximal common lower bounds
+        lattice = Lattice(
+            pairs=[("m1", "a"), ("m1", "b"), ("m2", "a"), ("m2", "b")]
+        )
+        with pytest.raises(NotALatticeError):
+            lattice.glb("a", "b")
+
+    def test_glb_with_extremes(self):
+        lattice = chain("a")
+        lattice.add_element("a")
+        assert lattice.glb("a", TOP) == "a"
+        assert lattice.glb("a", BOTTOM) == BOTTOM
+
+    def test_idempotent(self):
+        lattice = chain("a", "b")
+        assert lattice.glb("a", "a") == "a"
+        assert lattice.lub("b", "b") == "b"
+
+
+class TestSharedAndDelta:
+    def test_shared_marking(self):
+        lattice = Lattice(shared=["s"])
+        assert lattice.is_shared("s")
+        assert not lattice.is_shared(TOP)
+
+    def test_insert_below(self):
+        lattice = chain("low", "high")
+        lattice.insert_below("d", "high")
+        assert lattice.lt("d", "high")
+        assert lattice.lt("low", "d")
+
+    def test_insert_below_chains(self):
+        lattice = chain("a", "b", "c")
+        lattice.insert_below("d", "b")
+        assert lattice.lt("d", "c")  # transitively below c
+        assert lattice.lt("a", "d")
+
+    def test_insert_below_unknown_raises(self):
+        with pytest.raises(LatticeError):
+            Lattice().insert_below("d", "missing")
+
+
+class TestStructure:
+    def test_height_of_chain(self):
+        # TOP > c > b > a > BOTTOM: 5 elements on the longest chain
+        assert chain("a", "b", "c").height() == 5
+
+    def test_height_empty(self):
+        assert Lattice().height() == 2  # TOP > BOTTOM
+
+    def test_user_elements_exclude_extremes(self):
+        lattice = chain("a", "b")
+        assert lattice.user_elements() == {"a", "b"}
+
+    def test_direct_edges(self):
+        lattice = chain("a", "b")
+        assert lattice.direct_edges() == [("a", "b")]
+
+    def test_contains(self):
+        lattice = chain("a", "b")
+        assert "a" in lattice
+        assert "zz" not in lattice
+
+
+@st.composite
+def random_dags(draw):
+    """Random acyclic ordering declarations over a small element set."""
+    size = draw(st.integers(min_value=2, max_value=7))
+    names = [f"n{i}" for i in range(size)]
+    pairs = []
+    for i in range(size):
+        for j in range(i + 1, size):
+            if draw(st.booleans()):
+                pairs.append((names[i], names[j]))  # ni < nj: acyclic by index
+    return names, pairs
+
+
+class TestProperties:
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_strictness_antisymmetry(self, dag):
+        names, pairs = dag
+        lattice = Lattice(pairs=pairs)
+        for a in names:
+            lattice.add_element(a)
+        for a in names:
+            for b in names:
+                assert not (lattice.lt(a, b) and lattice.lt(b, a))
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_transitivity_property(self, dag):
+        names, pairs = dag
+        lattice = Lattice(pairs=pairs)
+        for a in names:
+            lattice.add_element(a)
+        for a in names:
+            for b in names:
+                for c in names:
+                    if lattice.lt(a, b) and lattice.lt(b, c):
+                        assert lattice.lt(a, c)
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_glb_is_lower_bound_when_defined(self, dag):
+        names, pairs = dag
+        lattice = Lattice(pairs=pairs)
+        for a in names:
+            lattice.add_element(a)
+        for a in names:
+            for b in names:
+                try:
+                    meet = lattice.glb(a, b)
+                except NotALatticeError:
+                    continue
+                assert lattice.leq(meet, a)
+                assert lattice.leq(meet, b)

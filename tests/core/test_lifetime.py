@@ -1,0 +1,77 @@
+"""Object-lifetime bound tests (the Chapter 8 memory-management
+extension)."""
+
+from repro.core.lifetime import lifetime_bounds
+from tests.conftest import analyze
+
+
+SOURCE = '''
+@LATTICE("LOW<HIGH")
+class Rec {
+  @LOC("HIGH") int hi;
+  @LOC("LOW") int lo;
+}
+@LATTICE("DEEP<SHALLOW")
+class Main {
+  @LOC("SHALLOW") Rec shallow;
+  @LOC("DEEP") Rec deep;
+  @LATTICE("TMP<X,X<IN") @THISLOC("X")
+  void run() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int v = Device.readSensor();
+      shallow = new Rec();
+      deep = new Rec();
+      shallow.hi = v;
+      deep.lo = shallow.hi;
+      @LOC("TMP") Rec scratch = new Rec();
+      scratch.hi = v;
+      SJ.broadcast(deep.lo);
+    }
+  }
+}
+'''
+
+
+class TestLifetimeBounds:
+    def test_every_allocation_bounded(self):
+        bounds = lifetime_bounds(analyze(SOURCE))
+        assert len(bounds) == 3
+        assert all(b.iterations < 10**6 for b in bounds)
+
+    def test_deeper_location_means_longer_bound(self):
+        bounds = {b.description: b for b in lifetime_bounds(analyze(SOURCE))}
+        shallow = next(
+            b for b in bounds.values() if "'shallow'" in b.description
+        )
+        deep = next(b for b in bounds.values() if "'deep'" in b.description)
+        # SHALLOW has DEEP below it: strictly more turnover levels
+        assert shallow.iterations > deep.iterations
+
+    def test_local_only_allocation_dies_with_iteration(self):
+        bounds = lifetime_bounds(analyze(SOURCE))
+        scratch = next(b for b in bounds if "'scratch'" in b.description)
+        # stored at a method-level location: bound is the chain below TMP
+        assert scratch.iterations <= 3
+
+    def test_no_event_loop_gives_no_bounds(self):
+        assert lifetime_bounds(analyze("class T { void m() { } }")) == []
+
+    def test_allocation_outside_loop_scope_ignored(self):
+        source = '''
+        class Helper { }
+        class Main {
+          void run() {
+            SSJAVA: while (true) { SJ.broadcast(1); }
+          }
+          void unused() { Helper h = new Helper(); }
+        }
+        '''
+        assert lifetime_bounds(analyze(source)) == []
+
+    def test_bounds_cover_benchmark_apps(self):
+        from repro.apps import load_app
+
+        bounds = lifetime_bounds(load_app("wind_sensor").info)
+        # the wind sensor allocates nothing inside the loop
+        assert all(b.iterations >= 1 for b in bounds)

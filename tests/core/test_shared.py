@@ -1,0 +1,119 @@
+"""Shared-location extension tests (Sections 4.1.8 and 4.2.2)."""
+
+from tests.conftest import assert_rejected, assert_stabilizing, loop_program
+
+
+class TestSharedVariables:
+    def test_cleared_each_iteration_ok(self):
+        assert_stabilizing(loop_program(
+            '@LOC("S") int acc = Device.readSensor();'
+            'acc = acc + 1;'
+            'SJ.broadcast(acc);',
+            lattice="S<IN,S*",
+        ))
+
+    def test_never_cleared_rejected(self):
+        # acc only ever receives same-shared values: corrupt data circulates
+        source = '''
+        class Main {
+          @LATTICE("B<X,X<IN,S<IN,S*")
+          @THISLOC("X")
+          void run() {
+            @LOC("S") int acc = 0;
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              acc = acc + 1;
+              SJ.broadcast(acc);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "shared")
+
+    def test_loop_index_pattern_ok(self):
+        assert_stabilizing(loop_program(
+            '@LOC("ACC") int acc = 0;'
+            'for (@LOC("I") int i = 0; i < 4; i++) { acc = acc + i; }'
+            'SJ.broadcast(acc);',
+            lattice="ACC<I,I<X2,X2<IN,I*,ACC*",
+        ))
+
+
+class TestSharedFields:
+    SOURCE = '''
+    @LATTICE("{class_lattice}")
+    class Main {{
+      @LOC("S") int stateA;
+      @LOC("S") int stateB;
+      @LATTICE("B<X,X<IN")
+      @THISLOC("X")
+      void run() {{
+        SSJAVA:
+        while (true) {{
+          @LOC("IN") int v = Device.readSensor();
+          {body}
+        }}
+      }}
+    }}
+    '''
+
+    def test_group_cleared_simultaneously_ok(self):
+        assert_stabilizing(self.SOURCE.format(
+            class_lattice="S,S*",
+            body="stateA = v; stateB = v - 1;"
+                 "stateA = stateB; "
+                 "SJ.broadcast(stateA);",
+        ))
+
+    def test_one_member_never_cleared_rejected(self):
+        assert_rejected(self.SOURCE.format(
+            class_lattice="S,S*",
+            body="stateA = v; stateB = stateA; SJ.broadcast(stateB);",
+        ), "shared")
+
+    def test_untouched_group_ignored(self):
+        # group members never written inside the loop: no constraint
+        assert_stabilizing(self.SOURCE.format(
+            class_lattice="S,S*",
+            body="SJ.broadcast(v);",
+        ))
+
+    def test_shared_array_cleared_by_fill_loop(self):
+        source = '''
+        @LATTICE("ARRF,ARRF*")
+        class Main {
+          @LOC("ARRF") float[] ring = new float[4];
+          @LATTICE("B<X,X<I,I<IN,I*")
+          @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") float v = Device.readTemp();
+              for (@LOC("I") int i = 0; i < ring.length; i++) { ring[i] = v; }
+              ring[0] = ring[1] + ring[2];
+              SJ.broadcast(ring[0]);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)
+
+    def test_shared_array_only_shuffled_rejected(self):
+        source = '''
+        @LATTICE("ARRF,ARRF*")
+        class Main {
+          @LOC("ARRF") float[] ring = new float[4];
+          @LATTICE("B<X,X<I,I<IN,I*")
+          @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") float v = Device.readTemp();
+              ring[0] = ring[1] + ring[2];
+              SJ.broadcast(ring[0]);
+            }
+          }
+        }
+        '''
+        assert_rejected(source, "shared")

@@ -1,0 +1,169 @@
+"""Loop termination analysis tests (Section 4.3)."""
+
+from tests.conftest import assert_rejected, assert_stabilizing, loop_program
+
+
+class TestInductionPatterns:
+    def test_canonical_for_loop(self):
+        assert_stabilizing(loop_program(
+            '@LOC("ACC") int acc = 0;'
+            'for (@LOC("I") int i = 0; i < 10; i++) { acc = acc + i; }'
+            '@LOC("B") int out = acc; SJ.broadcast(out);',
+            lattice="ACC<I,I<X2,X2<IN,B<ACC,I*,ACC*",
+        ))
+
+    def test_while_with_increment(self):
+        assert_stabilizing(loop_program(
+            '@LOC("I") int i = 0;'
+            'while (i < 5) { i++; }'
+            '@LOC("B") int out = 1; SJ.broadcast(out);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+    def test_decrementing_loop(self):
+        assert_stabilizing(loop_program(
+            '@LOC("I") int i = 8;'
+            'while (i > 0) { i--; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+    def test_explicit_step_assignment(self):
+        assert_stabilizing(loop_program(
+            '@LOC("I") int i = 0;'
+            'while (i <= 20) { i = i + 4; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+    def test_flipped_comparison(self):
+        assert_stabilizing(loop_program(
+            '@LOC("I") int i = 0;'
+            'while (10 > i) { i++; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+    def test_guard_in_conjunction(self):
+        assert_stabilizing(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("I") int i = 0;'
+            'while (i < 10 && v > 0) { i++; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+
+class TestRejectedLoops:
+    def test_no_induction_variable(self):
+        assert_rejected(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            'while (v > 0) { SJ.broadcast(v); }'
+        ), "termination")
+
+    def test_wrong_direction(self):
+        assert_rejected(loop_program(
+            '@LOC("I") int i = 0;'
+            'while (i < 10) { i--; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ), "termination")
+
+    def test_conditional_step_rejected(self):
+        assert_rejected(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("I") int i = 0;'
+            'while (i < 10) { if (v > 0) { i++; } }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ), "termination")
+
+    def test_non_invariant_bound_rejected(self):
+        assert_rejected(loop_program(
+            '@LOC("I") int i = 0;'
+            '@LOC("N") int n = 10;'
+            'while (i < n) { i++; n = n + 1; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,N<I,I*,N*",
+        ), "termination")
+
+    def test_irregular_update_disqualifies(self):
+        assert_rejected(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("I") int i = 0;'
+            'while (i < 10) { i++; i = v; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ), "termination")
+
+    def test_recursion_rejected(self):
+        source = '''
+        class Main {
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              @LOC("B") int r = fact(v);
+              SJ.broadcast(r);
+            }
+          }
+          @LATTICE("FR<FP,FTHIS") @THISLOC("FTHIS") @RETURNLOC("FR")
+          int fact(@LOC("FP") int n) {
+            @LOC("FR") int r = 1;
+            if (n > 1) { r = fact(n - 1); }
+            return r;
+          }
+        }
+        '''
+        assert_rejected(source, "termination")
+
+
+class TestEscapeHatches:
+    def test_maxloop_accepted(self):
+        assert_stabilizing(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("I") int i = 0;'
+            '@MAXLOOP(100) while (i < v) { if (v > 1) { i++; } }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+    def test_maxloop_needs_positive_bound(self):
+        assert_rejected(loop_program(
+            '@MAXLOOP(0) while (true) { break; }'
+            'SJ.broadcast(1);'
+        ), "termination")
+
+    def test_terminate_label_trusted(self):
+        assert_stabilizing(loop_program(
+            '@LOC("IN") int v = Device.readSensor();'
+            '@LOC("I") int i = 0;'
+            'TERMINATE_scan: while (i < v) { i = i * 2 + 1; }'
+            'SJ.broadcast(1);',
+            lattice="I<X2,X2<IN,I*",
+        ))
+
+    def test_array_length_bound_accepted(self):
+        source = loop_program(
+            '@LOC("IN") float v = Device.readTemp();'
+            'for (@LOC("I") int i = 0; i < data.length; i++) { data[i] = v; }'
+            'SJ.broadcast(1.0);',
+            lattice="ARRV<X2? ",
+        )
+        source = '''
+        @LATTICE("ARRF,ARRF*")
+        class Main {
+          @LOC("ARRF") float[] data = new float[4];
+          @LATTICE("B<X,X<I,I<IN,I*") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") float v = Device.readTemp();
+              for (@LOC("I") int i = 0; i < data.length; i++) { data[i] = v; }
+              SJ.broadcast(data[0]);
+            }
+          }
+        }
+        '''
+        assert_stabilizing(source)

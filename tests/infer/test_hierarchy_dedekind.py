@@ -1,0 +1,135 @@
+"""Hierarchy graph and Dedekind–MacNeille completion tests
+(Sections 5.2.5–5.2.6)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.lattice import BOTTOM, TOP, NotALatticeError
+from repro.infer.dedekind import complete
+from repro.infer.hierarchy import HierarchyGraph
+
+
+def graph_of(*orderings: tuple[str, str]) -> HierarchyGraph:
+    graph = HierarchyGraph("test")
+    for low, high in orderings:
+        graph.add_order(low, high)
+    return graph
+
+
+class TestHierarchyGraph:
+    def test_simple_order(self):
+        graph = graph_of(("a", "b"))
+        assert graph.orderings() == {("a", "b")}
+
+    def test_transitive_reachability(self):
+        graph = graph_of(("a", "b"), ("b", "c"))
+        assert graph.above("a") == {"b", "c"}
+
+    def test_self_flow_becomes_shared(self):
+        graph = graph_of()
+        graph.add_order("x", "x")
+        assert "x" in graph.shared_elements()
+
+    def test_cycle_merges_into_shared(self):
+        graph = graph_of(("a", "b"), ("b", "a"))
+        elements = graph.elements()
+        assert len(elements) == 1
+        assert graph.shared_elements() == elements
+        assert graph.canonical("a") == graph.canonical("b")
+
+    def test_longer_cycle_merges_all(self):
+        graph = graph_of(("a", "b"), ("b", "c"), ("c", "a"))
+        assert len(graph.elements()) == 1
+
+    def test_cycle_merge_preserves_outer_edges(self):
+        graph = graph_of(("low", "a"), ("a", "b"), ("b", "a"), ("b", "high"))
+        merged = graph.canonical("a")
+        assert ("low", merged) in graph.orderings()
+        assert (merged, "high") in graph.orderings()
+
+    def test_merge_is_idempotent_for_new_edges(self):
+        graph = graph_of(("a", "b"), ("b", "a"))
+        graph.add_order("a", "b")  # both map to the same canonical element
+        assert len(graph.elements()) == 1
+
+
+class TestDedekindMacNeille:
+    def test_chain_is_unchanged(self):
+        graph = graph_of(("a", "b"), ("b", "c"))
+        done = complete(graph, "chain")
+        assert done.lattice.user_elements() == {"a", "b", "c"}
+        assert done.synthesized == []
+
+    def test_incomparable_pair_gets_meet(self):
+        # a,b below both x,y: the completion must add GLB(x, y)
+        graph = graph_of(("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"))
+        done = complete(graph, "butterfly")
+        lattice = done.lattice
+        meet = lattice.glb("x", "y")  # must not raise
+        assert meet not in ("a", "b")
+        assert lattice.lt("a", meet) and lattice.lt("b", meet)
+        assert done.synthesized
+
+    def test_result_is_meet_semilattice(self):
+        graph = graph_of(
+            ("a", "x"), ("a", "y"), ("b", "y"), ("b", "z"), ("c", "x"),
+            ("c", "z"),
+        )
+        lattice = complete(graph, "m").lattice
+        for first in lattice.user_elements():
+            for second in lattice.user_elements():
+                lattice.glb(first, second)  # must never raise
+
+    def test_shared_marks_preserved(self):
+        graph = graph_of(("a", "b"))
+        graph.add_order("s", "s")
+        graph.add_order("s", "b")
+        lattice = complete(graph, "s").lattice
+        assert lattice.is_shared("s")
+
+    def test_ordering_preserved(self):
+        graph = graph_of(("a", "b"), ("c", "b"))
+        lattice = complete(graph, "o").lattice
+        assert lattice.lt("a", "b")
+        assert lattice.lt("c", "b")
+        assert not lattice.comparable("a", "c")
+
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+            st.sampled_from(["a", "b", "c", "d", "e"]),
+        ),
+        max_size=8,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_completion_always_yields_lattice(self, pairs):
+        graph = HierarchyGraph("prop")
+        for low, high in pairs:
+            graph.add_order(low, high)
+        lattice = complete(graph, "prop").lattice
+        elements = sorted(lattice.elements)
+        for first in elements:
+            for second in elements:
+                meet = lattice.glb(first, second)
+                join = lattice.lub(first, second)
+                assert lattice.leq(meet, first)
+                assert lattice.leq(second, join)
+
+    @given(st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.sampled_from(["a", "b", "c", "d"]),
+        ),
+        max_size=6,
+    ))
+    @settings(max_examples=60, deadline=None)
+    def test_completion_preserves_original_order(self, pairs):
+        graph = HierarchyGraph("prop2")
+        for low, high in pairs:
+            graph.add_order(low, high)
+        above_before = {
+            e: graph.above(e) for e in graph.elements()
+        }
+        lattice = complete(graph, "prop2").lattice
+        for element, above in above_before.items():
+            for higher in above:
+                assert lattice.lt(element, higher)

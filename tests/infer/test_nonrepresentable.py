@@ -1,0 +1,139 @@
+"""Non-self-stabilizing and non-representable programs (Section 5.2.7).
+
+The inference algorithm reacts to pathological flows in three ways:
+cyclic value flows merge into shared locations (then stand or fall with
+the eviction analysis); flows the type system cannot represent are
+recorded and reported to the developer; and everything else infers
+normally.
+"""
+
+from repro.infer import infer_annotations
+from repro.infer.value_flow import ValueFlowAnalysis
+from repro.infer.cycles import avoid_superfluous_cycles
+from repro.infer.hierarchy import decompose
+from tests.conftest import analyze
+
+
+class TestCyclicFlows:
+    def test_two_variable_cycle_merges_shared(self):
+        source = '''
+        class Main {
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              int a = v;
+              int b = a;
+              a = b;
+              SJ.broadcast(a);
+            }
+          }
+        }
+        '''
+        info = analyze(source)
+        analysis = ValueFlowAnalysis(info)
+        graphs = analysis.run()
+        for graph in graphs.values():
+            avoid_superfluous_cycles(graph)
+        hierarchies = decompose(info, graphs)
+        method = hierarchies.method[("Main", "run")]
+        assert method.canonical("a") == method.canonical("b")
+        assert method.canonical("a") in method.shared_elements()
+
+    def test_cycle_without_clearing_rejected_by_shared_analysis(self):
+        # Section 5.2.7: "For cycles that can be represented using shared
+        # types, it may potentially infer type annotations that type
+        # check.  However, the stronger static eviction criteria required
+        # for shared locations will cause SJava's static eviction analysis
+        # to reject the program."  Here b only ever receives same-shared
+        # values, so the clearing requirement conservatively fails.
+        source = '''
+        class Main {
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              int a = v;
+              int b = a;
+              a = b;
+              SJ.broadcast(a);
+            }
+          }
+        }
+        '''
+        result = infer_annotations(analyze(source), mode="sinfer")
+        assert not result.verified
+        kinds = {d.check.value for d in result.check_report.errors}
+        assert kinds == {"shared"}
+
+    def test_cycle_with_explicit_clearing_verifies(self):
+        # when every shared member is re-seeded from a higher location,
+        # the inferred shared annotations pass the whole checker
+        source = '''
+        class Main {
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              int a = v;
+              int b = v - 1;
+              a = b;
+              b = a;
+              SJ.broadcast(a);
+            }
+          }
+        }
+        '''
+        result = infer_annotations(analyze(source), mode="sinfer")
+        assert result.verified, result.check_report.format()
+
+    def test_field_cycle_merges_in_class_hierarchy(self):
+        source = '''
+        class Main {
+          int x; int y;
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              x = v;
+              y = x;
+              x = y;
+              SJ.broadcast(y);
+            }
+          }
+        }
+        '''
+        info = analyze(source)
+        analysis = ValueFlowAnalysis(info)
+        graphs = analysis.run()
+        hierarchies = decompose(info, graphs)
+        fields = hierarchies.fields["Main"]
+        assert fields.canonical("x") == fields.canonical("y")
+        assert fields.canonical("x") in fields.shared_elements()
+
+
+class TestNonRepresentableFlows:
+    def test_substructure_to_reference_flow_is_dropped(self):
+        # r = r.next: the value of a field flows into the reference it is
+        # reached through — lexicographic composite locations cannot
+        # express it, so the engine records it for the developer
+        source = '''
+        class Node { Node next; }
+        class Main {
+          Node head;
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              Node r = head;
+              r = r.next;
+              SJ.broadcast(v);
+            }
+          }
+        }
+        '''
+        result = infer_annotations(analyze(source), mode="sinfer", verify=False)
+        assert result.dropped_flows
+        key, src, dst = result.dropped_flows[0]
+        assert key == ("Main", "run")
+        assert len(src) > len(dst)

@@ -1,0 +1,79 @@
+"""Lattice rendering and metrics tests."""
+
+from repro.core.lattice import Lattice
+from repro.infer.metrics import (
+    LatticeMetrics,
+    count_paths,
+    lattice_metrics,
+    summarize_metrics,
+)
+from repro.infer.render import render_ascii, render_dot
+
+
+def diamond() -> Lattice:
+    return Lattice(
+        name="diamond",
+        pairs=[("bot", "l"), ("bot", "r"), ("l", "top"), ("r", "top")],
+    )
+
+
+class TestMetrics:
+    def test_chain_has_one_path(self):
+        lattice = Lattice(pairs=[("a", "b"), ("b", "c")])
+        assert count_paths(lattice) == 1
+
+    def test_diamond_has_two_paths(self):
+        assert count_paths(diamond()) == 2
+
+    def test_empty_lattice(self):
+        assert count_paths(Lattice()) == 1
+
+    def test_parallel_chains_multiply(self):
+        # TOP -> {a,b} -> BOTTOM: 2 paths; adding an unrelated c gives 3
+        lattice = Lattice()
+        for name in ("a", "b", "c"):
+            lattice.add_element(name)
+        assert count_paths(lattice) == 3
+
+    def test_lattice_metrics_simple_threshold(self):
+        small = lattice_metrics("s", Lattice(pairs=[("a", "b")]))
+        assert small.is_simple
+        big = Lattice()
+        for i in range(6):
+            big.add_element(f"n{i}")
+        assert not lattice_metrics("b", big).is_simple
+
+    def test_summary_buckets(self):
+        summary = summarize_metrics([
+            LatticeMetrics("a", 3, 2),
+            LatticeMetrics("b", 8, 11),
+            LatticeMetrics("c", 2, 1),
+        ])
+        assert summary.simple_count == 2
+        assert summary.simple_locations == 5
+        assert summary.complex_paths == 11
+        assert summary.total_locations == 13
+        assert summary.total_paths == 14
+
+
+class TestRendering:
+    def test_ascii_shows_all_elements(self):
+        text = render_ascii(diamond())
+        for name in ("top", "l", "r", "bot", "⊤", "⊥"):
+            assert name in text
+
+    def test_ascii_marks_shared(self):
+        lattice = Lattice(pairs=[("a", "b")], shared=["a"])
+        assert "a*" in render_ascii(lattice)
+
+    def test_dot_is_wellformed(self):
+        text = render_dot(diamond(), "d x")
+        assert text.startswith('digraph "d_x" {')
+        assert text.rstrip().endswith("}")
+        assert '"top" -> "l"' in text
+
+    def test_dot_covering_edges_only(self):
+        lattice = Lattice(pairs=[("a", "b"), ("b", "c")])
+        text = render_dot(lattice)
+        assert '"c" -> "b"' in text
+        assert '"c" -> "a"' not in text  # transitive edge elided

@@ -1,0 +1,95 @@
+"""Simplification pass tests (Section 5.3)."""
+
+from repro.infer.hierarchy import HierarchyGraph
+from repro.infer.simplify import (
+    merge_equivalent_nodes,
+    remove_redundant_edges,
+    simplify_hierarchy,
+)
+
+
+def graph_of(*orderings) -> HierarchyGraph:
+    graph = HierarchyGraph("test")
+    for low, high in orderings:
+        graph.add_order(low, high)
+    return graph
+
+
+class TestRedundantEdges:
+    def test_transitive_edge_removed(self):
+        graph = graph_of(("a", "b"), ("b", "c"), ("a", "c"))
+        assert remove_redundant_edges(graph)
+        assert graph.orderings() == {("a", "b"), ("b", "c")}
+
+    def test_cover_edges_kept(self):
+        graph = graph_of(("a", "b"), ("b", "c"))
+        assert not remove_redundant_edges(graph)
+        assert graph.orderings() == {("a", "b"), ("b", "c")}
+
+    def test_order_preserved_after_removal(self):
+        graph = graph_of(("a", "b"), ("b", "c"), ("a", "c"))
+        remove_redundant_edges(graph)
+        assert "c" in graph.above("a")
+
+
+class TestEquivalentMerging:
+    def test_same_neighborhood_locals_merge(self):
+        # x and y both sit between a and b with identical edges
+        graph = graph_of(("x", "a"), ("y", "a"), ("b", "x"), ("b", "y"))
+        assert merge_equivalent_nodes(graph, interface=set())
+        assert graph.canonical("x") == graph.canonical("y")
+
+    def test_interface_merges_only_with_interface(self):
+        graph = graph_of(("x", "a"), ("y", "a"), ("b", "x"), ("b", "y"))
+        merge_equivalent_nodes(graph, interface={"x"})
+        # x is interface, y is not: they must stay distinct
+        assert graph.canonical("x") != graph.canonical("y")
+
+    def test_interface_pair_merges(self):
+        # the paper's Fig. 5.14: fields f and g share all neighbors
+        graph = graph_of(("f", "a"), ("g", "a"), ("z", "f"), ("z", "g"))
+        merge_equivalent_nodes(graph, interface={"f", "g", "a", "z"})
+        assert graph.canonical("f") == graph.canonical("g")
+
+    def test_neighbors_never_merge(self):
+        graph = graph_of(("a", "b"))
+        assert not merge_equivalent_nodes(graph, interface=set())
+        assert graph.canonical("a") != graph.canonical("b")
+
+    def test_merge_does_not_mark_shared(self):
+        graph = graph_of(("x", "a"), ("y", "a"), ("b", "x"), ("b", "y"))
+        merge_equivalent_nodes(graph, interface=set())
+        merged = graph.canonical("x")
+        assert merged not in graph.shared_elements()
+
+    def test_shared_member_keeps_shared(self):
+        graph = graph_of(("x", "a"), ("y", "a"), ("b", "x"), ("b", "y"))
+        graph.shared.add(graph.canonical("x"))
+        graph.shared.add(graph.canonical("y"))
+        merge_equivalent_nodes(graph, interface=set())
+        assert graph.canonical("x") in graph.shared_elements()
+
+    def test_different_shared_flags_do_not_merge(self):
+        graph = graph_of(("x", "a"), ("y", "a"), ("b", "x"), ("b", "y"))
+        graph.shared.add(graph.canonical("x"))
+        merge_equivalent_nodes(graph, interface=set())
+        assert graph.canonical("x") != graph.canonical("y")
+
+
+class TestFullPass:
+    def test_simplify_shrinks_parallel_structure(self):
+        graph = graph_of(
+            ("l1", "top"), ("l2", "top"), ("l3", "top"),
+            ("bot", "l1"), ("bot", "l2"), ("bot", "l3"),
+        )
+        before = len(graph.elements())
+        simplify_hierarchy(graph, interface={"top", "bot"})
+        assert len(graph.elements()) < before
+        # interface elements survive
+        assert graph.canonical("top") == "top"
+        assert graph.canonical("bot") == "bot"
+
+    def test_simplify_terminates_on_cycle_merged_graphs(self):
+        graph = graph_of(("a", "b"), ("b", "a"), ("c", "a"))
+        simplify_hierarchy(graph, interface=set())  # must not loop forever
+        assert graph.elements()

@@ -1,0 +1,92 @@
+"""Call graph construction tests."""
+
+from repro.lang import parse_program, resolve_program, typecheck_program
+from repro.lang.callgraph import build_call_graph
+
+
+def graph_for(source: str):
+    program = parse_program(source)
+    info = resolve_program(program)
+    typecheck_program(info)
+    return info, build_call_graph(info)
+
+
+class TestEdges:
+    def test_simple_call_edge(self):
+        _, graph = graph_for(
+            "class A { void a() { b(); } void b() { } }"
+        )
+        assert ("A", "b") in graph.callees(("A", "a"))
+
+    def test_builtin_calls_excluded(self):
+        _, graph = graph_for(
+            "class A { void a() { SJ.broadcast(1); } }"
+        )
+        assert graph.callees(("A", "a")) == set()
+
+    def test_dynamic_dispatch_expansion(self):
+        _, graph = graph_for(
+            "class A { void f() { } } "
+            "class B extends A { void f() { } } "
+            "class T { A a; void m() { a.f(); } }"
+        )
+        callees = graph.callees(("T", "m"))
+        assert ("A", "f") in callees and ("B", "f") in callees
+
+    def test_static_call_edge(self):
+        _, graph = graph_for(
+            "class H { static void s() { } } class T { void m() { H.s(); } }"
+        )
+        assert ("H", "s") in graph.callees(("T", "m"))
+
+    def test_calls_in_conditions_found(self):
+        _, graph = graph_for(
+            "class A { boolean p() { return true; } "
+            "void m() { if (p()) { } while (p()) { break; } } }"
+        )
+        assert ("A", "p") in graph.callees(("A", "m"))
+
+
+class TestReachability:
+    def test_reachable_transitively(self):
+        _, graph = graph_for(
+            "class A { void a() { b(); } void b() { c(); } void c() { } "
+            "void unrelated() { } }"
+        )
+        reach = graph.reachable_from(("A", "a"))
+        assert ("A", "c") in reach
+        assert ("A", "unrelated") not in reach
+
+    def test_topological_order_callees_first(self):
+        _, graph = graph_for(
+            "class A { void a() { b(); } void b() { c(); } void c() { } }"
+        )
+        scope = {("A", "a"), ("A", "b"), ("A", "c")}
+        order = graph.topological_order(scope)
+        assert order.index(("A", "c")) < order.index(("A", "b"))
+        assert order.index(("A", "b")) < order.index(("A", "a"))
+
+
+class TestRecursion:
+    def test_direct_recursion_found(self):
+        _, graph = graph_for("class A { void a() { a(); } }")
+        cycle = graph.find_recursive_cycle({("A", "a")})
+        assert cycle is not None
+
+    def test_mutual_recursion_found(self):
+        _, graph = graph_for(
+            "class A { void a() { b(); } void b() { a(); } }"
+        )
+        assert graph.find_recursive_cycle({("A", "a"), ("A", "b")}) is not None
+
+    def test_acyclic_graph_clean(self):
+        _, graph = graph_for(
+            "class A { void a() { b(); b(); } void b() { } }"
+        )
+        assert graph.find_recursive_cycle({("A", "a"), ("A", "b")}) is None
+
+    def test_cycle_outside_scope_ignored(self):
+        _, graph = graph_for(
+            "class A { void a() { } void r() { r(); } }"
+        )
+        assert graph.find_recursive_cycle({("A", "a")}) is None

@@ -1,0 +1,191 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang.lexer import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source: str) -> list[TokenKind]:
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source: str) -> list[object]:
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo") == [TokenKind.IDENT]
+        assert values("foo") == ["foo"]
+
+    def test_identifier_with_digits_and_underscores(self):
+        assert values("_x9_y") == ["_x9_y"]
+
+    def test_keywords_are_distinguished(self):
+        assert kinds("class") == [TokenKind.KEYWORD]
+        assert kinds("classy") == [TokenKind.IDENT]
+
+    def test_all_keywords(self):
+        for word in ("if", "else", "while", "for", "return", "new", "this",
+                     "true", "false", "null", "int", "float", "boolean",
+                     "String", "void", "break", "continue", "extends",
+                     "static", "final"):
+            assert kinds(word) == [TokenKind.KEYWORD], word
+
+    def test_int_literal(self):
+        assert values("42") == [42]
+        assert kinds("42") == [TokenKind.INT_LIT]
+
+    def test_float_literal(self):
+        assert values("3.5") == [3.5]
+        assert kinds("3.5") == [TokenKind.FLOAT_LIT]
+
+    def test_float_with_exponent(self):
+        assert values("1.5e3") == [1500.0]
+        assert values("2e-2") == [0.02]
+
+    def test_float_with_f_suffix(self):
+        assert kinds("1.0f") == [TokenKind.FLOAT_LIT]
+        assert kinds("7f") == [TokenKind.FLOAT_LIT]
+        assert values("7f") == [7.0]
+
+    def test_integer_then_dot_method_not_float(self):
+        # `x.length` after an int index must not glue into a float
+        assert kinds("a[0].f") == [
+            TokenKind.IDENT, TokenKind.LBRACKET, TokenKind.INT_LIT,
+            TokenKind.RBRACKET, TokenKind.DOT, TokenKind.IDENT,
+        ]
+
+    def test_string_literal(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\nb\t\"q\\"') == ['a\nb\t"q\\']
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+    def test_invalid_escape_raises(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("<=", TokenKind.LE), (">=", TokenKind.GE), ("==", TokenKind.EQ),
+            ("!=", TokenKind.NE), ("&&", TokenKind.AND), ("||", TokenKind.OR),
+            ("+=", TokenKind.PLUS_ASSIGN), ("-=", TokenKind.MINUS_ASSIGN),
+            ("*=", TokenKind.STAR_ASSIGN), ("/=", TokenKind.SLASH_ASSIGN),
+            ("++", TokenKind.INCREMENT), ("--", TokenKind.DECREMENT),
+        ],
+    )
+    def test_two_char_operators(self, text, kind):
+        assert kinds(text) == [kind]
+
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("+", TokenKind.PLUS), ("-", TokenKind.MINUS),
+            ("*", TokenKind.STAR), ("/", TokenKind.SLASH),
+            ("%", TokenKind.PERCENT), ("<", TokenKind.LT),
+            (">", TokenKind.GT), ("=", TokenKind.ASSIGN),
+            ("!", TokenKind.NOT), (";", TokenKind.SEMI),
+            (":", TokenKind.COLON), (".", TokenKind.DOT),
+            (",", TokenKind.COMMA),
+        ],
+    )
+    def test_one_char_operators(self, text, kind):
+        assert kinds(text) == [kind]
+
+    def test_maximal_munch(self):
+        assert kinds("a<=b") == [TokenKind.IDENT, TokenKind.LE, TokenKind.IDENT]
+        assert kinds("a< =b") == [
+            TokenKind.IDENT, TokenKind.LT, TokenKind.ASSIGN, TokenKind.IDENT
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("a # b")
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\nb") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\ny */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+
+class TestAnnotations:
+    def test_annotation_token(self):
+        tokens = tokenize('@LOC("A")')
+        assert tokens[0].kind is TokenKind.ANNOTATION
+        assert tokens[0].value == "LOC"
+        assert tokens[1].kind is TokenKind.LPAREN
+        assert tokens[2].kind is TokenKind.STRING_LIT
+
+    def test_bare_annotation(self):
+        tokens = tokenize("@DELEGATE x")
+        assert tokens[0].kind is TokenKind.ANNOTATION
+        assert tokens[1].kind is TokenKind.IDENT
+
+    def test_at_without_name_raises(self):
+        with pytest.raises(LexError):
+            tokenize("@ 1")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].col) == (1, 1)
+        assert (tokens[1].line, tokens[1].col) == (2, 3)
+
+    def test_columns_advance_within_line(self):
+        tokens = tokenize("ab cd")
+        assert tokens[1].col == 4
+
+
+class TestProperties:
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_int_literal_roundtrip(self, value):
+        assert values(str(value)) == [value]
+
+    @given(
+        st.floats(
+            min_value=0.001, max_value=1e6,
+            allow_nan=False, allow_infinity=False,
+        )
+    )
+    def test_float_literal_roundtrip(self, value):
+        text = repr(value)
+        tokens = tokenize(text)
+        assert tokens[0].kind is TokenKind.FLOAT_LIT
+        assert tokens[0].value == pytest.approx(value)
+
+    @given(
+        st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,20}", fullmatch=True).filter(
+            lambda s: s not in {
+                "class", "extends", "public", "private", "protected",
+                "static", "final", "void", "int", "float", "boolean",
+                "String", "new", "if", "else", "while", "for", "return",
+                "true", "false", "null", "break", "continue", "this",
+            }
+        )
+    )
+    def test_identifier_roundtrip(self, name):
+        assert values(name) == [name]
+        assert kinds(name) == [TokenKind.IDENT]

@@ -1,0 +1,297 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import ParseError, parse_program
+
+
+def parse_class_body(body: str) -> ast.ClassDecl:
+    return parse_program(f"class T {{ {body} }}").classes[0]
+
+
+def parse_stmts(stmts: str) -> list[ast.Stmt]:
+    cls = parse_class_body(f"void m() {{ {stmts} }}")
+    return cls.methods[0].body.stmts
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    stmts = parse_stmts(f"boolean unused_probe = true; x = {expr};")
+    assign = stmts[1]
+    assert isinstance(assign, ast.Assign)
+    return assign.value
+
+
+class TestClassStructure:
+    def test_empty_class(self):
+        program = parse_program("class A { }")
+        assert [c.name for c in program.classes] == ["A"]
+
+    def test_multiple_classes(self):
+        program = parse_program("class A {} class B {}")
+        assert [c.name for c in program.classes] == ["A", "B"]
+
+    def test_extends(self):
+        program = parse_program("class A {} class B extends A {}")
+        assert program.classes[1].superclass == "A"
+
+    def test_public_modifier_ignored(self):
+        program = parse_program("public class A { }")
+        assert program.classes[0].name == "A"
+
+    def test_fields_and_methods_separated(self):
+        cls = parse_class_body("int x; void m() { } float y;")
+        assert [f.name for f in cls.fields] == ["x", "y"]
+        assert [m.name for m in cls.methods] == ["m"]
+
+    def test_static_final_field(self):
+        cls = parse_class_body("static final float c = 1.5;")
+        fld = cls.fields[0]
+        assert fld.is_static and fld.is_final
+        assert isinstance(fld.init, ast.FloatLit)
+
+    def test_field_initializer_new(self):
+        cls = parse_class_body("T other = new T();")
+        assert isinstance(cls.fields[0].init, ast.New)
+
+    def test_method_params(self):
+        cls = parse_class_body("int m(int a, float b) { return a; }")
+        method = cls.methods[0]
+        assert [p.name for p in method.params] == ["a", "b"]
+        assert str(method.params[1].decl_type) == "float"
+
+    def test_array_types(self):
+        cls = parse_class_body("float[] data; int[] m(int[] a) { return a; }")
+        assert str(cls.fields[0].decl_type) == "float[]"
+        assert str(cls.methods[0].return_type) == "int[]"
+
+    def test_missing_brace_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("class A {")
+
+
+class TestAnnotations:
+    def test_class_annotation(self):
+        program = parse_program('@LATTICE("A<B") class T {}')
+        ann = program.classes[0].annotations[0]
+        assert ann.name == "LATTICE"
+        assert ann.value == "A<B"
+
+    def test_field_annotation(self):
+        cls = parse_class_body('@LOC("X") int f;')
+        assert cls.fields[0].annotations[0].name == "LOC"
+
+    def test_method_annotations_stack(self):
+        cls = parse_class_body(
+            '@LATTICE("A<B") @THISLOC("A") @RETURNLOC("B") int m() { return 1; }'
+        )
+        names = [a.name for a in cls.methods[0].annotations]
+        assert names == ["LATTICE", "THISLOC", "RETURNLOC"]
+
+    def test_param_annotation(self):
+        cls = parse_class_body('void m(@LOC("P") int p) { }')
+        assert cls.methods[0].params[0].annotations[0].name == "LOC"
+
+    def test_bare_annotation_on_param(self):
+        cls = parse_class_body("void m(@DELEGATE T t) { }")
+        assert cls.methods[0].params[0].annotations[0].value is None
+
+    def test_maxloop_int_argument(self):
+        stmts = parse_stmts("@MAXLOOP(10) while (true) { }")
+        loop = stmts[0]
+        assert isinstance(loop, ast.While)
+        assert loop.annotations[0].value == 10
+
+    def test_var_decl_annotation(self):
+        stmts = parse_stmts('@LOC("V") int v = 0;')
+        assert stmts[0].annotations[0].name == "LOC"
+
+    def test_for_init_annotation(self):
+        stmts = parse_stmts('for (@LOC("I") int i = 0; i < 3; i++) { }')
+        loop = stmts[0]
+        assert isinstance(loop, ast.For)
+        assert loop.init.annotations[0].name == "LOC"
+
+    def test_annotation_on_assignment_in_for_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmts('for (@LOC("I") i = 0; i < 3; i++) { }')
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        stmts = parse_stmts("int x = 3;")
+        decl = stmts[0]
+        assert isinstance(decl, ast.VarDecl)
+        assert decl.name == "x"
+        assert isinstance(decl.init, ast.IntLit)
+
+    def test_assignment_kinds(self):
+        stmts = parse_stmts("x = 1; x += 2; x -= 3; x *= 4; x /= 5;")
+        assert [s.op for s in stmts] == ["=", "+=", "-=", "*=", "/="]
+
+    def test_increment_desugars(self):
+        stmts = parse_stmts("i++;")
+        assign = stmts[0]
+        assert isinstance(assign, ast.Assign)
+        assert assign.op == "+=" and assign.was_increment
+        assert isinstance(assign.value, ast.IntLit) and assign.value.value == 1
+
+    def test_decrement_desugars(self):
+        assert parse_stmts("i--;")[0].op == "-="
+
+    def test_field_assignment(self):
+        stmts = parse_stmts("this.f = 1;")
+        assert isinstance(stmts[0].target, ast.FieldAccess)
+
+    def test_array_assignment(self):
+        stmts = parse_stmts("a[i] = 1;")
+        assert isinstance(stmts[0].target, ast.ArrayAccess)
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse_stmts("1 = x;")
+
+    def test_if_else(self):
+        stmts = parse_stmts("if (a > 0) { x = 1; } else { x = 2; }")
+        node = stmts[0]
+        assert isinstance(node, ast.If)
+        assert node.else_body is not None
+
+    def test_dangling_else_binds_inner(self):
+        stmts = parse_stmts("if (a > 0) if (b > 0) x = 1; else x = 2;")
+        outer = stmts[0]
+        assert outer.else_body is None
+        assert isinstance(outer.then_body, ast.If)
+        assert outer.then_body.else_body is not None
+
+    def test_while_loop(self):
+        stmts = parse_stmts("while (i < 3) { i++; }")
+        assert isinstance(stmts[0], ast.While)
+
+    def test_for_loop_full(self):
+        stmts = parse_stmts("for (int i = 0; i < 10; i++) { x = i; }")
+        loop = stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.VarDecl)
+        assert isinstance(loop.update, ast.Assign)
+
+    def test_for_loop_empty_clauses(self):
+        stmts = parse_stmts("for (;;) { break; }")
+        loop = stmts[0]
+        assert loop.init is None and loop.cond is None and loop.update is None
+
+    def test_labeled_event_loop(self):
+        stmts = parse_stmts("SSJAVA: while (true) { }")
+        assert stmts[0].label == "SSJAVA"
+
+    def test_terminate_label(self):
+        stmts = parse_stmts("TERMINATE_scan: while (a > 0) { }")
+        assert stmts[0].label == "TERMINATE_scan"
+
+    def test_label_requires_loop(self):
+        with pytest.raises(ParseError):
+            parse_stmts("L: x = 1;")
+
+    def test_return_void_and_value(self):
+        stmts = parse_stmts("return;")
+        assert stmts[0].value is None
+        stmts = parse_stmts("return 1 + 2;")
+        assert isinstance(stmts[0].value, ast.Binary)
+
+    def test_break_continue(self):
+        stmts = parse_stmts("while (true) { break; continue; }")
+        body = stmts[0].body.stmts
+        assert isinstance(body[0], ast.Break)
+        assert isinstance(body[1], ast.Continue)
+
+    def test_call_statement(self):
+        stmts = parse_stmts("foo(1, 2);")
+        assert isinstance(stmts[0], ast.ExprStmt)
+        assert isinstance(stmts[0].expr, ast.Call)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        expr = parse_expr("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_or_lowest(self):
+        expr = parse_expr("a && b || c")
+        assert expr.op == "||"
+
+    def test_left_associativity(self):
+        expr = parse_expr("a - b - c")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus_and_not(self):
+        assert parse_expr("-a").op == "-"
+        assert parse_expr("!a").op == "!"
+
+    def test_cast(self):
+        expr = parse_expr("(int) x")
+        assert isinstance(expr, ast.Unary)
+        assert expr.op == "cast:int"
+
+    def test_parenthesized_var_not_cast(self):
+        expr = parse_expr("(x)")
+        assert isinstance(expr, ast.VarRef)
+
+    def test_field_chain(self):
+        expr = parse_expr("a.b.c")
+        assert isinstance(expr, ast.FieldAccess)
+        assert expr.field_name == "c"
+        assert expr.obj.field_name == "b"
+
+    def test_array_length(self):
+        expr = parse_expr("a.length")
+        assert isinstance(expr, ast.ArrayLength)
+
+    def test_method_call_with_receiver(self):
+        expr = parse_expr("obj.m(1)")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.receiver, ast.VarRef)
+
+    def test_unqualified_call(self):
+        expr = parse_expr("m()")
+        assert isinstance(expr, ast.Call)
+        assert expr.receiver is None
+
+    def test_chained_calls(self):
+        expr = parse_expr("a.b().c()")
+        assert expr.method == "c"
+        assert expr.receiver.method == "b"
+
+    def test_new_object(self):
+        expr = parse_expr("new Foo()")
+        assert isinstance(expr, ast.New)
+        assert expr.class_name == "Foo"
+
+    def test_new_array(self):
+        expr = parse_expr("new float[8]")
+        assert isinstance(expr, ast.NewArray)
+
+    def test_array_index_expression(self):
+        expr = parse_expr("a[i + 1]")
+        assert isinstance(expr, ast.ArrayAccess)
+        assert isinstance(expr.index, ast.Binary)
+
+    def test_this_expression(self):
+        expr = parse_expr("this.f")
+        assert isinstance(expr.obj, ast.ThisRef)
+
+    def test_literals(self):
+        assert isinstance(parse_expr("true"), ast.BoolLit)
+        assert isinstance(parse_expr("null"), ast.NullLit)
+        assert isinstance(parse_expr('"s"'), ast.StringLit)

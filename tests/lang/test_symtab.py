@@ -1,0 +1,101 @@
+"""ProgramInfo / class-table helper tests."""
+
+from repro.lang import parse_program, resolve_program
+from tests.conftest import analyze
+
+HIERARCHY = '''
+class A { int fa; void shared_m() { } void only_a() { } }
+class B extends A { int fb; void shared_m() { } }
+class C extends B { int fc; }
+class Other { int fa; }
+'''
+
+
+class TestAncestry:
+    def test_ancestry_chain(self):
+        info = analyze(HIERARCHY)
+        assert list(info.ancestry("C")) == ["C", "B", "A"]
+        assert list(info.ancestry("A")) == ["A"]
+
+    def test_is_subclass(self):
+        info = analyze(HIERARCHY)
+        assert info.is_subclass("C", "A")
+        assert info.is_subclass("B", "B")
+        assert not info.is_subclass("A", "C")
+        assert not info.is_subclass("Other", "A")
+
+
+class TestFieldLookup:
+    def test_all_fields_supers_first(self):
+        info = analyze(HIERARCHY)
+        names = [f.name for _, f in info.all_fields("C")]
+        assert names == ["fa", "fb", "fc"]
+        owners = [o for o, _ in info.all_fields("C")]
+        assert owners == ["A", "B", "C"]
+
+    def test_find_field_walks_up(self):
+        info = analyze(HIERARCHY)
+        owner, decl = info.find_field("C", "fa")
+        assert owner == "A" and decl.name == "fa"
+        assert info.find_field("C", "nope") is None
+
+    def test_find_field_shadowless_per_class(self):
+        info = analyze(HIERARCHY)
+        owner, _ = info.find_field("Other", "fa")
+        assert owner == "Other"
+
+
+class TestMethodLookup:
+    def test_override_wins(self):
+        info = analyze(HIERARCHY)
+        owner, _ = info.find_method("C", "shared_m")
+        assert owner == "B"
+
+    def test_inherited_found(self):
+        info = analyze(HIERARCHY)
+        owner, _ = info.find_method("C", "only_a")
+        assert owner == "A"
+
+    def test_overriding_decls_includes_subclasses(self):
+        info = analyze(HIERARCHY)
+        owners = {o for o, _ in info.overriding_decls("A", "shared_m")}
+        assert owners == {"A", "B"}
+
+    def test_overriding_decls_from_middle(self):
+        info = analyze(HIERARCHY)
+        owners = {o for o, _ in info.overriding_decls("B", "shared_m")}
+        assert owners == {"B"}
+
+    def test_missing_method(self):
+        info = analyze(HIERARCHY)
+        assert info.find_method("A", "ghost") is None
+        assert info.overriding_decls("A", "ghost") == []
+
+
+class TestEventLoopDiscovery:
+    def test_nested_loop_label_found(self):
+        info = resolve_program(parse_program('''
+        class T {
+          void outer() {
+            if (true) {
+              SSJAVA: while (true) { }
+            }
+          }
+        }
+        '''))
+        assert info.event_loop is not None
+
+    def test_no_loop(self):
+        info = resolve_program(parse_program("class T { void m() { } }"))
+        assert info.event_loop is None
+        assert info.event_loops == []
+
+    def test_two_loops_not_unique(self):
+        info = resolve_program(parse_program('''
+        class T {
+          void a() { SSJAVA: while (true) { } }
+          void b() { SJAVA: while (true) { } }
+        }
+        '''))
+        assert info.event_loop is None  # ambiguous
+        assert len(info.event_loops) == 2

@@ -1,0 +1,164 @@
+"""Differential tests: the closure-compiling backend must be
+observationally identical to the tree-walking interpreter."""
+
+import pytest
+
+from repro.apps import APP_NAMES, app_device_factory, load_app
+from repro.runtime import ErrorInjector, Interpreter, RuntimeOptions
+from repro.runtime.compiler import CompiledRunner
+from repro.runtime.devices import ScriptedDevice
+from tests.conftest import analyze
+
+
+def run_both(info, device_factory, options=None, injector_factory=None):
+    results = []
+    for backend in (Interpreter, CompiledRunner):
+        injector = injector_factory() if injector_factory else None
+        engine = backend(
+            info, device_factory(), options=options, injector=injector
+        )
+        engine.run()
+        results.append(
+            (engine.sink.values, engine.iteration_marks, engine.error_log)
+        )
+    return results
+
+
+class TestDifferentialApps:
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_clean_runs_identical(self, name, apps):
+        interp, compiled = run_both(
+            apps[name].info, app_device_factory(name, 10)
+        )
+        assert compiled == interp
+
+    @pytest.mark.parametrize("name", APP_NAMES)
+    def test_injected_runs_identical(self, name, apps):
+        # injection counts value-producing sites: identical site numbering
+        # means identical corruption, so outputs must match exactly
+        interp, compiled = run_both(
+            apps[name].info,
+            app_device_factory(name, 10),
+            options=RuntimeOptions(ignore_errors=True),
+            injector_factory=lambda: ErrorInjector(target_step=37, seed=5),
+        )
+        assert compiled == interp
+
+
+class TestDifferentialFeatures:
+    def test_crash_avoidance_identical(self):
+        source = '''
+        class Box { int val; }
+        class Main {
+          Box box;
+          int[] data = new int[2];
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              SJ.broadcast(box.val);
+              SJ.broadcast(data[v]);
+              SJ.broadcast(10 / v);
+              if (v > 0) { box = new Box(); box.val = v; }
+            }
+          }
+        }
+        '''
+        info = analyze(source)
+        interp, compiled = run_both(
+            info,
+            lambda: ScriptedDevice({"readSensor": [0, 3, 1]}),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        assert compiled == interp
+
+    def test_loop_bounds_identical(self):
+        source = '''
+        class Main {
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              int i = 0;
+              @MAXLOOP(4) while (i < 100) { SJ.broadcast(i); i++; }
+            }
+          }
+        }
+        '''
+        info = analyze(source)
+        interp, compiled = run_both(
+            info,
+            lambda: ScriptedDevice({"readSensor": [0]}),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        assert compiled == interp
+
+    def test_dispatch_strings_buffers_identical(self):
+        source = '''
+        class A { int tag() { return 1; } }
+        class B extends A { int tag() { return 2; } }
+        class Main {
+          A obj = new B();
+          OrderedBuffer h = new OrderedBuffer(2);
+          void run() {
+            SSJAVA:
+            while (true) {
+              float v = Device.readTemp();
+              h.insert(v);
+              SJ.broadcast("tag=" + obj.tag());
+              SJ.broadcast(h.get(0) + h.get(1));
+            }
+          }
+        }
+        '''
+        info = analyze(source)
+        interp, compiled = run_both(
+            info, lambda: ScriptedDevice({"readTemp": [1.0, 2.0]})
+        )
+        assert compiled == interp
+
+    def test_strict_mode_errors_identical(self):
+        source = '''
+        class Main {
+          int[] data = new int[1];
+          void run() {
+            SSJAVA:
+            while (true) {
+              int v = Device.readSensor();
+              SJ.broadcast(data[5]);
+            }
+          }
+        }
+        '''
+        info = analyze(source)
+        from repro.runtime.interpreter import SJavaRuntimeError
+
+        for backend in (Interpreter, CompiledRunner):
+            engine = backend(info, ScriptedDevice({"readSensor": [1]}))
+            with pytest.raises(SJavaRuntimeError):
+                engine.run()
+
+    def test_compiled_bodies_are_cached(self):
+        app = load_app("mp3_decoder")
+        runner = CompiledRunner(app.info, app_device_factory("mp3_decoder", 4)())
+        runner.run()
+        assert ("Mp3Decoder", "decodeGranule") in runner._compiled
+        assert len(runner._compiled) >= 3
+
+
+class TestSpeed:
+    def test_compiled_is_not_slower(self, apps):
+        import time
+
+        def clock(backend) -> float:
+            start = time.perf_counter()
+            backend(
+                apps["mp3_decoder"].info, app_device_factory("mp3_decoder", 30)()
+            ).run()
+            return time.perf_counter() - start
+
+        clock(CompiledRunner)  # warm up
+        interp_time = min(clock(Interpreter) for _ in range(2))
+        compiled_time = min(clock(CompiledRunner) for _ in range(2))
+        # allow generous noise margin; typical ratio is 2-4x
+        assert compiled_time < interp_time * 1.2

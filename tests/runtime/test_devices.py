@@ -1,0 +1,100 @@
+"""Device simulation tests."""
+
+import pytest
+
+from repro.runtime.devices import (
+    DeviceBus,
+    InputExhausted,
+    IterationKeyedDevice,
+    OutputSink,
+    ScriptedDevice,
+    SyntheticDevice,
+)
+
+
+class TestScriptedDevice:
+    def test_replays_in_order(self):
+        device = ScriptedDevice({"readSensor": [1, 2, 3]})
+        assert [device.read("readSensor") for _ in range(3)] == [1, 2, 3]
+
+    def test_exhaustion_raises(self):
+        device = ScriptedDevice({"readSensor": [1]})
+        device.read("readSensor")
+        with pytest.raises(InputExhausted):
+            device.read("readSensor")
+
+    def test_independent_streams(self):
+        device = ScriptedDevice({"a": [1], "b": [2]})
+        assert device.read("b") == 2
+        assert device.read("a") == 1
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(InputExhausted):
+            ScriptedDevice({}).read("readSensor")
+
+
+class TestIterationKeyedDevice:
+    def test_values_keyed_by_iteration_and_index(self):
+        device = IterationKeyedDevice(
+            lambda name, it, k: (it, k), iterations=3
+        )
+        device.begin_iteration(0)
+        assert device.read("x") == (0, 0)
+        assert device.read("x") == (0, 1)
+        device.begin_iteration(1)
+        assert device.read("x") == (1, 0)
+
+    def test_per_name_index(self):
+        device = IterationKeyedDevice(lambda n, i, k: (n, k), iterations=2)
+        device.begin_iteration(0)
+        assert device.read("a") == ("a", 0)
+        assert device.read("b") == ("b", 0)
+
+    def test_extra_reads_do_not_shift_later_iterations(self):
+        # the property the error model needs: reading more in one
+        # iteration leaves the next iteration's values unchanged
+        device = IterationKeyedDevice(lambda n, i, k: i * 10 + k, iterations=3)
+        device.begin_iteration(0)
+        device.read("x")
+        device.read("x")
+        device.read("x")  # extra
+        device.begin_iteration(1)
+        assert device.read("x") == 10
+
+    def test_limit_raises(self):
+        device = IterationKeyedDevice(lambda n, i, k: 0, iterations=1)
+        device.begin_iteration(1)
+        with pytest.raises(InputExhausted):
+            device.read("x")
+
+
+class TestSyntheticDevice:
+    def test_deterministic_per_seed(self):
+        first = SyntheticDevice(seed=9)
+        second = SyntheticDevice(seed=9)
+        values_a = [first.read("readTemp") for _ in range(5)]
+        values_b = [second.read("readTemp") for _ in range(5)]
+        assert values_a == values_b
+
+    def test_int_sensors_in_range(self):
+        device = SyntheticDevice(seed=1)
+        for _ in range(20):
+            value = device.read("readSonar")
+            assert 0 <= value <= 15
+
+    def test_limit(self):
+        device = SyntheticDevice(seed=0, limit=2)
+        device.read("readTemp")
+        device.read("readTemp")
+        with pytest.raises(InputExhausted):
+            device.read("readTemp")
+
+
+class TestOutputSink:
+    def test_collects_and_clears(self):
+        sink = OutputSink()
+        sink.emit(1)
+        sink.emit("x")
+        assert sink.values == [1, "x"]
+        sink.clear()
+        assert sink.values == []

@@ -1,0 +1,155 @@
+"""Fault injection and stabilization-experiment tests (Section 6.2)."""
+
+from repro.runtime.devices import IterationKeyedDevice
+from repro.runtime.injection import ErrorInjector, StepCounter
+from repro.runtime.interpreter import Interpreter, RuntimeOptions
+from repro.runtime.stabilization import (
+    StabilizationExperiment,
+    recovery_distance,
+    recovery_histogram,
+)
+from tests.conftest import analyze
+
+SOURCE = '''
+class Main {
+  int prev0; int prev1;
+  void run() {
+    SSJAVA:
+    while (true) {
+      int v = Device.readSensor();
+      int out = (v + prev0 + prev1) / 3;
+      prev1 = prev0;
+      prev0 = v;
+      SJ.broadcast(out);
+    }
+  }
+}
+'''
+
+
+def make_experiment(iterations=20):
+    info = analyze(SOURCE)
+
+    def factory():
+        return IterationKeyedDevice(
+            lambda name, it, k: (it * 3) % 7, iterations=iterations
+        )
+
+    return StabilizationExperiment(
+        info, factory, options=RuntimeOptions(ignore_errors=True)
+    )
+
+
+class TestInjector:
+    def test_step_counter_counts_sites(self):
+        exp = make_experiment()
+        total = exp.total_steps()
+        assert total > 0
+        # deterministic
+        assert total == make_experiment().total_steps()
+
+    def test_injector_fires_once(self):
+        info = analyze(SOURCE)
+        injector = ErrorInjector(target_step=5, seed=1)
+        interp = Interpreter(
+            info,
+            IterationKeyedDevice(lambda n, i, k: 1, iterations=10),
+            options=RuntimeOptions(ignore_errors=True),
+            injector=injector,
+        )
+        interp.run()
+        assert injector.fired
+        assert len(injector.injected_at) == 1
+        assert injector.injection_iteration is not None
+
+    def test_burst_injection(self):
+        info = analyze(SOURCE)
+        injector = ErrorInjector(target_step=5, seed=1, burst=3)
+        interp = Interpreter(
+            info,
+            IterationKeyedDevice(lambda n, i, k: 1, iterations=10),
+            options=RuntimeOptions(ignore_errors=True),
+            injector=injector,
+        )
+        interp.run()
+        assert 1 <= len(injector.injected_at) <= 3
+
+    def test_type_preserving_corruption(self):
+        injector = ErrorInjector(target_step=0, seed=2)
+
+        class FakeNode:
+            uid = 0
+
+        corrupted = injector.site(True, FakeNode())
+        assert isinstance(corrupted, bool)
+        injector2 = ErrorInjector(target_step=0, seed=2)
+        assert isinstance(injector2.site(1.5, FakeNode()), float)
+
+    def test_references_never_corrupted(self):
+        injector = ErrorInjector(target_step=0, seed=2)
+
+        class FakeNode:
+            uid = 0
+
+        marker = object()
+        assert injector.site(marker, FakeNode()) is marker
+
+
+class TestRecoveryDistance:
+    def test_identical_outputs_mean_masked(self):
+        groups = [[1], [2], [3]]
+        samples, iters, diverged = recovery_distance(groups, groups, 0)
+        assert samples is None and not diverged
+
+    def test_single_corrupt_iteration(self):
+        ref = [[1], [2], [3], [4]]
+        bad = [[1], [99], [3], [4]]
+        samples, iters, diverged = recovery_distance(ref, bad, 1)
+        assert (samples, iters, diverged) == (1, 1, False)
+
+    def test_multi_iteration_corruption(self):
+        ref = [[1, 1], [2, 2], [3, 3], [4, 4]]
+        bad = [[1, 1], [9, 2], [3, 9], [4, 4]]
+        samples, iters, diverged = recovery_distance(ref, bad, 1)
+        assert samples == 4 and iters == 2
+
+    def test_divergence_detected(self):
+        ref = [[1], [2], [3]]
+        bad = [[1], [9], [9]]
+        samples, iters, diverged = recovery_distance(ref, bad, 1)
+        assert diverged
+
+    def test_histogram_binning(self):
+        class T:
+            def __init__(self, s):
+                self.recovery_samples = s
+
+        trials = [T(3), T(5), T(12), T(None)]
+        assert recovery_histogram(trials, bin_size=10) == {0: 2, 10: 1}
+
+
+class TestExperiment:
+    def test_trials_recover_within_state_depth(self):
+        exp = make_experiment()
+        trials = exp.run_trials(20, seed=3)
+        corrupted = [t for t in trials if t.corrupted_output]
+        assert corrupted, "expected at least one visible corruption"
+        total = len(exp.reference_groups())
+        for trial in corrupted:
+            if trial.diverged:
+                # a fault injected too close to the end of the input
+                # cannot demonstrate recovery: not a real divergence
+                assert trial.injection_iteration >= total - 3
+            else:
+                # two fields of history: recovery within <= 3 iterations
+                assert trial.recovery_iterations <= 3
+
+    def test_reference_cached(self):
+        exp = make_experiment()
+        first = exp.reference_groups()
+        assert exp.reference_groups() is first
+
+    def test_trials_deterministic_per_seed(self):
+        a = make_experiment().trial(seed=11)
+        b = make_experiment().trial(seed=11)
+        assert a == b

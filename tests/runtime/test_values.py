@@ -1,0 +1,91 @@
+"""Runtime value representation tests."""
+
+from repro.lang import ast
+from repro.runtime.values import (
+    ArrayVal,
+    BufferVal,
+    ObjectVal,
+    default_value,
+    java_int_div,
+    java_int_rem,
+)
+
+
+class TestObjectVal:
+    def test_fields_are_per_instance(self):
+        a = ObjectVal("C")
+        b = ObjectVal("C")
+        a.fields["x"] = 1
+        assert "x" not in b.fields
+
+    def test_class_name_kept(self):
+        assert ObjectVal("Rec").class_name == "Rec"
+
+
+class TestArrayVal:
+    def test_initialized_with_default(self):
+        arr = ArrayVal(3, 0.0)
+        assert arr.items == [0.0, 0.0, 0.0]
+        assert len(arr) == 3
+        assert arr.default == 0.0
+
+    def test_zero_length(self):
+        assert len(ArrayVal(0, 0)) == 0
+
+
+class TestBufferVal:
+    def test_insert_shifts_down(self):
+        buf = BufferVal(3, 0.0)
+        buf.insert(1.0)
+        buf.insert(2.0)
+        assert buf.items == [2.0, 1.0, 0.0]
+
+    def test_capacity_fixed(self):
+        buf = BufferVal(2, 0)
+        for value in (1, 2, 3):
+            buf.insert(value)
+        assert buf.size() == 2
+        assert buf.items == [3, 2]
+
+    def test_oldest_falls_off(self):
+        buf = BufferVal(2, 0)
+        buf.insert(1)
+        buf.insert(2)
+        buf.insert(3)
+        assert buf.get(1) == 2  # 1 evicted
+
+    def test_get_head_is_newest(self):
+        buf = BufferVal(3, 0.0)
+        buf.insert(9.0)
+        assert buf.get(0) == 9.0
+
+
+class TestDefaults:
+    def test_primitive_defaults(self):
+        assert default_value(ast.PrimType(name="int")) == 0
+        assert default_value(ast.PrimType(name="float")) == 0.0
+        assert default_value(ast.PrimType(name="boolean")) is False
+        assert default_value(ast.PrimType(name="String")) is None
+
+    def test_reference_defaults_null(self):
+        assert default_value(ast.ClassType(name="C")) is None
+        assert default_value(
+            ast.ArrayType(element=ast.PrimType(name="int"))
+        ) is None
+
+
+class TestJavaArithmeticHelpers:
+    def test_div_truncates_toward_zero(self):
+        assert java_int_div(9, 4) == 2
+        assert java_int_div(-9, 4) == -2
+        assert java_int_div(9, -4) == -2
+        assert java_int_div(-9, -4) == 2
+
+    def test_rem_identity(self):
+        for a in (-9, -1, 0, 7, 13):
+            for b in (-4, -1, 2, 5):
+                assert java_int_div(a, b) * b + java_int_rem(a, b) == a
+
+    def test_rem_sign(self):
+        assert java_int_rem(-9, 4) == -1
+        assert java_int_rem(9, -4) == 1

@@ -1,0 +1,101 @@
+"""CLI tests."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+APP_DIR = Path(__file__).resolve().parents[1] / "src/repro/apps/programs"
+WIND = str(APP_DIR / "wind_sensor.sj")
+WEATHER = str(APP_DIR / "weather_index.sj")
+
+
+@pytest.fixture
+def broken_program(tmp_path):
+    path = tmp_path / "broken.sj"
+    path.write_text('''
+    @LATTICE("LOW<HIGH")
+    class T {
+      @LOC("LOW") int low;
+      @LOC("HIGH") int high;
+      @LATTICE("B<X,X<IN") @THISLOC("X")
+      void run() {
+        SSJAVA:
+        while (true) {
+          @LOC("IN") int v = Device.readSensor();
+          low = v;
+          high = low;
+          SJ.broadcast(high);
+        }
+      }
+    }
+    ''')
+    return str(path)
+
+
+class TestCheck:
+    def test_check_passing_program(self, capsys):
+        assert main(["check", WIND]) == 0
+        assert "all checks passed" in capsys.readouterr().out
+
+    def test_check_failing_program(self, broken_program, capsys):
+        assert main(["check", broken_program]) == 1
+        assert "flow-down" in capsys.readouterr().out
+
+    def test_missing_file(self, capsys):
+        assert main(["check", "/nope/missing.sj"]) == 2
+
+    def test_syntax_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.sj"
+        path.write_text("class {")
+        assert main(["check", str(path)]) == 2
+        assert "front-end error" in capsys.readouterr().err
+
+
+class TestInfer:
+    def test_infer_emits_annotations(self, tmp_path, capsys):
+        stripped = tmp_path / "stripped.sj"
+        from repro.apps import app_source
+
+        stripped.write_text(app_source("weather_index", annotated=False))
+        assert main(["infer", str(stripped)]) == 0
+        captured = capsys.readouterr()
+        assert "@LATTICE(" in captured.out
+        assert "verified" in captured.err
+
+    def test_infer_naive_mode(self, tmp_path, capsys):
+        stripped = tmp_path / "stripped.sj"
+        from repro.apps import app_source
+
+        stripped.write_text(app_source("wind_sensor", annotated=False))
+        assert main(["infer", str(stripped), "--mode", "naive", "--quiet"]) == 0
+        assert "@LATTICE" not in capsys.readouterr().out
+
+
+class TestRunAndInject:
+    def test_run_produces_output(self, capsys):
+        assert main(["run", WEATHER, "--iterations", "5"]) == 0
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 5
+        assert "5 iterations" in captured.err
+
+    def test_inject_reports_histogram(self, capsys):
+        assert main([
+            "inject", WEATHER, "--trials", "6", "--iterations", "15"
+        ]) == 0
+        assert "corrupted:" in capsys.readouterr().out
+
+
+class TestLattices:
+    def test_ascii_rendering(self, capsys):
+        assert main(["lattices", WEATHER]) == 0
+        out = capsys.readouterr().out
+        assert "class Weather" in out
+        assert "⊤" in out and "⊥" in out
+
+    def test_dot_rendering(self, capsys):
+        assert main(["lattices", WEATHER, "--format", "dot"]) == 0
+        out = capsys.readouterr().out
+        assert "digraph" in out
+        assert "->" in out

@@ -1,0 +1,168 @@
+"""Integration tests built directly from the paper's worked examples.
+
+* Fig. 2.1 / Section 2.1 — the wind direction sensor: annotations type
+  check, and an erroneous value leaves the bin within three iterations;
+* Section 2.3.1 — the specific flows the text walks through;
+* Fig. 5.1 / 5.15 — the weather index example: inference produces
+  verifiable annotations with this-rooted composite locations for the
+  f1..f6 temporaries (the Fig. 5.6 cycle-avoidance story);
+* Fig. 5.12 — merge points appear when flows combine;
+* Section 4.1.7 — delta locations order between fields.
+"""
+
+from repro.apps import app_device_factory, load_app
+from repro.core.checker import SJavaChecker
+from repro.infer import infer_annotations
+from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
+from repro.runtime.devices import ScriptedDevice
+from tests.conftest import assert_stabilizing
+
+
+class TestWindSensorFig21:
+    def test_annotations_check(self, apps):
+        report = SJavaChecker(apps["wind_sensor"].info).run()
+        assert report.self_stabilizing
+
+    def test_median_discards_outlier(self, apps):
+        # Section 2.1.1: the median of the last three readings discards
+        # an invalid direction value
+        device = ScriptedDevice({"readSensor": [4, 4, 99, 4, 4]})
+        interp = Interpreter(apps["wind_sensor"].info, device)
+        outputs = interp.run()
+        # once the bin holds {4, 99, 4}, the median is still 4
+        assert outputs[3] == 4
+
+    def test_erroneous_value_leaves_within_three_iterations(self, apps):
+        # Section 2.1.2: "the program would return to the correct
+        # execution after, at most, three iterations of the main loop"
+        experiment = StabilizationExperiment(
+            load_app("wind_sensor").info,
+            app_device_factory("wind_sensor", 40),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        trials = experiment.run_trials(25, seed=0)
+        for trial in trials:
+            if trial.corrupted_output and not trial.diverged:
+                assert trial.recovery_iterations <= 3
+
+    def test_flow_documented_in_section_231(self):
+        # "the assignment to this.dir in line 30 is valid because the
+        # location type ⟨CAOBJ,TMP⟩ of the source is higher than the
+        # location ⟨CAOBJ,DIR⟩ of the destination" — and the reverse is
+        # not valid:
+        reversed_flow = load_app("wind_sensor").source.replace(
+            "this.dir = majorDir;", "majorDir = this.dir;"
+        )
+        from repro.core.checker import check_program
+
+        report = check_program(reversed_flow)
+        assert not report.self_stabilizing
+
+
+class TestWeatherIndexCh5:
+    def test_manual_annotations_check(self, apps):
+        report = SJavaChecker(apps["weather_index"].info).run()
+        assert report.self_stabilizing
+
+    def test_inference_reproduces_fig_5_15_structure(self):
+        app = load_app("weather_index", annotated=False)
+        result = infer_annotations(app.info, mode="sinfer")
+        assert result.verified
+        source = result.annotated_source
+        # Fig. 5.15: the method lattice orders this below inTemp and the
+        # temporaries get composite locations rooted at this
+        assert '@LATTICE("inTemp<PC,this<inTemp")' in source
+        for temp in ("f1", "f2", "f3", "f4", "f5", "f6"):
+            assert f'@LOC("this,' in source  # composite, this-rooted
+        # interface fields keep their own locations (Section 5.1.2)
+        for field_name in ("prevTemp", "avgTemp", "curHum", "index"):
+            assert f'@LOC("{field_name}")' in source
+
+    def test_merge_point_between_avgtemp_and_curhum(self):
+        # Fig. 5.9 / Fig. 5.12: combining avgTemp and curHum requires a
+        # location strictly below both (the paper's Loc20 merge node)
+        app = load_app("weather_index", annotated=False)
+        result = infer_annotations(app.info, mode="sinfer", verify=False)
+        weather = result.lattices["class Weather"]
+        meet = weather.glb("avgTemp", "curHum")
+        assert meet not in ("avgTemp", "curHum", "index")
+        assert weather.lt("index", meet)
+
+    def test_smoothing_state_recovers_in_one_iteration(self):
+        # prevTemp is the only cross-iteration state: depth 1
+        experiment = StabilizationExperiment(
+            load_app("weather_index").info,
+            app_device_factory("weather_index", 30),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        trials = experiment.run_trials(20, seed=5)
+        recovered = [
+            t for t in trials if t.corrupted_output and not t.diverged
+        ]
+        assert recovered
+        assert all(t.recovery_iterations <= 2 for t in recovered)
+
+
+class TestDeltaLocationsSection417:
+    def test_delta_replaces_explicit_middle_location(self):
+        # Section 4.1.7: ⟨WDOBJ,DIR1⟩ can be replaced by
+        # delta(⟨WDOBJ,DIR0⟩)
+        assert_stabilizing('''
+        @LATTICE("DIR2<DIR1,DIR1<DIR0")
+        class WindRec {
+          @LOC("DIR0") public int dir0;
+          @LOC("DIR1") public int dir1;
+          @LOC("DIR2") public int dir2;
+        }
+        @LATTICE("BINL")
+        class Main {
+          @LOC("BINL") WindRec bin = new WindRec();
+          @LATTICE("B<X,X<IN") @THISLOC("X")
+          void run() {
+            SSJAVA:
+            while (true) {
+              @LOC("IN") int v = Device.readSensor();
+              bin.dir0 = v;
+              @DELTA("X,BINL,DIR0") int mid = bin.dir0;
+              bin.dir1 = mid;
+              bin.dir2 = bin.dir1;
+              SJ.broadcast(bin.dir2);
+            }
+          }
+        }
+        ''')
+
+
+class TestUsageScenariosSection12:
+    """The three usage scenarios of Section 1.2, dynamically."""
+
+    def test_multimedia_streaming_failures_are_transient(self):
+        # "Self-stabilizing decoders might fail to decode short periods
+        # of a stream, but these failures will only be transient and the
+        # remainder of the stream will be correctly decoded."
+        app = load_app("mp3_decoder")
+        experiment = StabilizationExperiment(
+            app.info,
+            app_device_factory("mp3_decoder", 20),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        trial = None
+        for seed in range(30):
+            candidate = experiment.trial(seed)
+            if candidate.corrupted_output and not candidate.diverged:
+                trial = candidate
+                break
+        assert trial is not None
+        assert trial.recovery_iterations <= 3
+
+    def test_embedded_controller_returns_to_correct_operation(self):
+        app = load_app("sumo_robot")
+        experiment = StabilizationExperiment(
+            app.info,
+            app_device_factory("sumo_robot", 30),
+            options=RuntimeOptions(ignore_errors=True),
+        )
+        trials = experiment.run_trials(15, seed=9)
+        assert all(
+            not t.diverged or t.injection_iteration >= 29 for t in trials
+        )
