@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full examples check-apps clean
+.PHONY: test bench bench-full examples check-apps batch-check clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -25,6 +25,10 @@ check-apps:
 	for f in src/repro/apps/programs/*.sj; do \
 	  echo "== $$f"; $(PYTHON) -m repro.cli check $$f || exit 1; \
 	done
+
+# Batch-check every bundled app through the cached service (docs/SERVICE.md).
+batch-check:
+	$(PYTHON) -m repro.cli batch src/repro/apps/programs
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results

@@ -19,8 +19,10 @@ from repro.apps.registry import (
     APP_NAMES,
     AppBundle,
     app_device_factory,
+    app_path,
     app_source,
     load_app,
+    programs_dir,
     strip_location_annotations,
 )
 
@@ -28,7 +30,9 @@ __all__ = [
     "APP_NAMES",
     "AppBundle",
     "app_device_factory",
+    "app_path",
     "app_source",
     "load_app",
+    "programs_dir",
     "strip_location_annotations",
 ]

@@ -6,6 +6,7 @@ import math
 import re
 from dataclasses import dataclass
 from importlib import resources
+from pathlib import Path
 from typing import Callable
 
 from repro.lang.ast import Program
@@ -47,6 +48,19 @@ _STRIP_PATTERN = re.compile(
 def strip_location_annotations(source: str) -> str:
     """Remove every location-type annotation from sjava source text."""
     return _STRIP_PATTERN.sub("", source)
+
+
+def programs_dir() -> Path:
+    """Filesystem directory holding the bundled ``.sj`` programs, for
+    batch checking (``repro batch``) and tooling that wants real paths."""
+    return Path(str(resources.files("repro.apps") / "programs"))
+
+
+def app_path(name: str) -> Path:
+    """Filesystem path of one bundled app's source."""
+    if name not in APP_NAMES:
+        raise KeyError(f"unknown app {name!r}; available: {APP_NAMES}")
+    return programs_dir() / f"{name}.sj"
 
 
 def app_source(name: str, annotated: bool = True) -> str:

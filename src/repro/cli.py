@@ -2,14 +2,20 @@
 
 Subcommands mirror the workflow of the paper's tool:
 
-* ``repro check FILE``      — run the full self-stabilization checker;
+* ``repro check FILE``      — run the full self-stabilization checker
+  (``--json`` emits the versioned protocol payload);
 * ``repro infer FILE``      — infer location annotations (SInfer / naive)
-  and print the annotated program;
+  and print the annotated program (``--json`` emits the summary);
 * ``repro run FILE``        — execute the program on synthetic inputs;
 * ``repro inject FILE``     — run fault-injection trials and report
-  recovery distances;
-* ``repro lattices FILE``   — render the program's location lattices.
+  recovery distances (exit 1 when any trial diverged);
+* ``repro lattices FILE``   — render the program's location lattices;
+* ``repro batch DIR...``    — check many files via the cached, parallel
+  service (per-file verdicts + timings);
+* ``repro serve``           — long-lived checking daemon on a Unix
+  socket, speaking newline-delimited JSON.
 
+The batch/daemon/JSON workflow is documented in ``docs/SERVICE.md``.
 Installed as ``repro`` (console script) or usable as
 ``python -m repro.cli``.
 """
@@ -17,7 +23,9 @@ Installed as ``repro`` (console script) or usable as
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from pathlib import Path
 
 from repro.core.checker import SJavaChecker
@@ -33,6 +41,9 @@ from repro.lang.typecheck import JavaTypeError
 from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
 from repro.runtime.devices import SyntheticDevice
 from repro.runtime.stabilization import recovery_histogram
+from repro.service import protocol
+from repro.service.cache import ResultCache, default_disk_dir
+from repro.service.pool import CheckerPool, timed_check
 
 
 def _load(path: str) -> ProgramInfo:
@@ -44,6 +55,18 @@ def _load(path: str) -> ProgramInfo:
 
 
 def cmd_check(args: argparse.Namespace) -> int:
+    if args.json:
+        source = Path(args.file).read_text(encoding="utf-8")
+        start = time.perf_counter()
+        report, timings = timed_check(source)
+        payload = protocol.check_payload(
+            report,
+            file=args.file,
+            elapsed_seconds=time.perf_counter() - start,
+            timings=timings,
+        )
+        print(protocol.dumps(payload))
+        return 0 if report.self_stabilizing else 1
     info = _load(args.file)
     report = SJavaChecker(info).run()
     print(report.format())
@@ -53,6 +76,10 @@ def cmd_check(args: argparse.Namespace) -> int:
 def cmd_infer(args: argparse.Namespace) -> int:
     info = _load(args.file)
     result = infer_annotations(info, mode=args.mode, verify=not args.no_verify)
+    if args.json:
+        payload = protocol.infer_payload(result.summary_dict(), file=args.file)
+        print(protocol.dumps(payload))
+        return 0 if result.check_report is None or result.verified else 1
     if not args.quiet:
         print(result.annotated_source)
     summary = result.summary
@@ -112,12 +139,14 @@ def cmd_inject(args: argparse.Namespace) -> int:
     trials = experiment.run_trials(args.trials, seed=args.seed)
     corrupted = [t for t in trials if t.corrupted_output]
     recovered = [t for t in corrupted if not t.diverged]
+    diverged = len(corrupted) - len(recovered)
     print(f"trials: {len(trials)}  corrupted: {len(corrupted)}  "
-          f"diverged: {len(corrupted) - len(recovered)}")
+          f"diverged: {diverged}")
     histogram = recovery_histogram(recovered, bin_size=args.bin)
     for bucket, count in histogram.items():
         print(f"  {bucket:5d}-{bucket + args.bin - 1:5d} samples: {count}")
-    return 0
+    # A diverged trial falsifies stabilization — that is a failing result.
+    return 1 if diverged > 0 else 0
 
 
 def cmd_lattices(args: argparse.Namespace) -> int:
@@ -141,6 +170,74 @@ def cmd_lattices(args: argparse.Namespace) -> int:
     return 0
 
 
+def _batch_cache(args: argparse.Namespace) -> ResultCache | None:
+    if args.no_cache:
+        return None
+    disk = Path(args.cache_dir) if args.cache_dir else default_disk_dir()
+    return ResultCache(disk_dir=disk)
+
+
+def _collect_sj_files(targets: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        path = Path(target)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.sj")))
+        else:
+            files.append(path)
+    return files
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    files = _collect_sj_files(args.targets)
+    if not files:
+        print("batch: no .sj files found", file=sys.stderr)
+        return 2
+    pool = CheckerPool(
+        max_workers=args.jobs,
+        task_timeout=args.timeout,
+        cache=_batch_cache(args),
+    )
+    start = time.perf_counter()
+    results = pool.check_paths(files)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        print(protocol.dumps({
+            "version": protocol.PROTOCOL_VERSION,
+            "kind": "batch",
+            "elapsed_seconds": elapsed,
+            "results": [r.to_dict() for r in results],
+            "stats": pool.stats(),
+        }))
+    else:
+        width = max(len(r.path) for r in results)
+        for r in results:
+            cached = "  (cached)" if r.cached else ""
+            detail = f"  {r.message}" if r.message else ""
+            print(f"{r.path:<{width}}  {r.verdict:<16} "
+                  f"{r.elapsed_seconds * 1000:8.1f} ms{cached}{detail}")
+        passed = sum(1 for r in results if r.ok)
+        cached = sum(1 for r in results if r.cached)
+        print(f"// {passed}/{len(results)} self-stabilizing, "
+              f"{cached} from cache, {elapsed:.3f}s total")
+    return 0 if all(r.ok for r in results) else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import serve
+
+    cache = None
+    if not args.no_cache:
+        disk = Path(args.cache_dir) if args.cache_dir else default_disk_dir()
+        cache = ResultCache(disk_dir=disk)
+    print(f"repro daemon listening on {args.socket}", file=sys.stderr)
+    try:
+        serve(args.socket, cache=cache)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -150,6 +247,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = sub.add_parser("check", help="check self-stabilization")
     check.add_argument("file")
+    check.add_argument("--json", action="store_true",
+                       help="emit the versioned JSON protocol payload")
     check.set_defaults(func=cmd_check)
 
     infer = sub.add_parser("infer", help="infer location annotations")
@@ -159,6 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip re-checking the inferred annotations")
     infer.add_argument("--quiet", action="store_true",
                        help="suppress the annotated source")
+    infer.add_argument("--json", action="store_true",
+                       help="emit the versioned JSON summary payload")
     infer.set_defaults(func=cmd_infer)
 
     run = sub.add_parser("run", help="execute on synthetic inputs")
@@ -183,6 +284,35 @@ def build_parser() -> argparse.ArgumentParser:
     lattices.add_argument("--format", choices=("ascii", "dot"),
                           default="ascii")
     lattices.set_defaults(func=cmd_lattices)
+
+    batch = sub.add_parser(
+        "batch", help="batch-check files/directories (cached, parallel)"
+    )
+    batch.add_argument("targets", nargs="+", metavar="DIR_OR_FILE",
+                       help=".sj files or directories to scan recursively")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process, the default)")
+    batch.add_argument("--timeout", type=float, default=None,
+                       help="per-file timeout in seconds (needs --jobs > 1)")
+    batch.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache directory "
+                            "(default: $REPRO_CACHE_DIR or ~/.cache/repro)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    batch.add_argument("--json", action="store_true",
+                       help="emit one JSON object with all results")
+    batch.set_defaults(func=cmd_batch)
+
+    serve = sub.add_parser(
+        "serve", help="run the checking daemon on a Unix socket"
+    )
+    serve.add_argument("--socket", default=str(default_disk_dir() / "repro.sock"),
+                       help="Unix socket path to listen on")
+    serve.add_argument("--cache-dir", default=None,
+                       help="on-disk result cache directory")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 
@@ -197,6 +327,11 @@ def main(argv: list[str] | None = None) -> int:
     except (LexError, ParseError, ResolveError, JavaTypeError) as exc:
         print(f"front-end error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout was closed downstream (e.g. `repro batch | head`);
+        # redirect to devnull so interpreter shutdown doesn't complain.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

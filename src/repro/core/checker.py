@@ -54,10 +54,39 @@ class CheckReport:
     def errors_of(self, check: Check) -> list[Diagnostic]:
         return [d for d in self.errors if d.check is check]
 
+    def sorted_diagnostics(self) -> list[Diagnostic]:
+        """Diagnostics in source order — by (line, col, check) rather than
+        by analysis pass, so output is stable across checker refactors."""
+        return sorted(self.diagnostics, key=Diagnostic.sort_key)
+
     def format(self) -> str:
         if not self.diagnostics:
             return "self-stabilizing: all checks passed"
-        return "\n".join(str(d) for d in self.diagnostics)
+        return "\n".join(str(d) for d in self.sorted_diagnostics())
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form.  Only the verdict-bearing parts survive
+        (diagnostics + checked scope); the analysis artifacts
+        (``loop_facts``, ``summaries``) hold AST references and are not
+        serialized."""
+        return {
+            "self_stabilizing": self.self_stabilizing,
+            "diagnostics": [d.to_dict() for d in self.sorted_diagnostics()],
+            "checked_scope": sorted(
+                [cls, meth] for cls, meth in self.checked_scope
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CheckReport":
+        diagnostics = [
+            Diagnostic.from_dict(entry)
+            for entry in data.get("diagnostics", [])
+        ]
+        scope = {
+            (str(c), str(m)) for c, m in data.get("checked_scope", [])
+        }
+        return cls(diagnostics=diagnostics, checked_scope=scope)
 
 
 class SJavaChecker:

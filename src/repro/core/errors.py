@@ -43,6 +43,38 @@ class Diagnostic:
         ctx = f" [{self.context}]" if self.context else ""
         return f"{self.severity.value}({self.check.value}) {where}{ctx}: {self.message}"
 
+    def sort_key(self) -> tuple:
+        """Stable ordering for reports: position first, then check kind."""
+        return (self.line, self.col, self.check.value,
+                self.severity.value, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (see :mod:`repro.service.protocol`)."""
+        return {
+            "severity": self.severity.value,
+            "check": self.check.value,
+            "message": self.message,
+            "line": self.line,
+            "col": self.col,
+            "context": self.context,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        try:
+            severity = Severity(data["severity"])
+            check = Check(data["check"])
+        except (KeyError, ValueError) as exc:
+            raise ValueError(f"malformed diagnostic payload: {exc}") from exc
+        return cls(
+            severity=severity,
+            check=check,
+            message=str(data.get("message", "")),
+            line=int(data.get("line", 0)),
+            col=int(data.get("col", 0)),
+            context=str(data.get("context", "")),
+        )
+
 
 @dataclass
 class DiagnosticSink:

@@ -70,6 +70,26 @@ class InferenceResult:
     def verified(self) -> bool:
         return self.check_report is not None and self.check_report.self_stabilizing
 
+    def summary_dict(self) -> dict:
+        """Stable, JSON-serializable summary of an inference run.
+
+        Lattices and per-method graphs stay in memory; what crosses the
+        wire (``repro infer --json``, the daemon's ``infer`` op) is the
+        verdict plus the Table 6.1 metrics.
+        """
+        payload = {
+            "mode": self.mode,
+            "summary": self.summary.to_dict(),
+            "lattice_count": len(self.per_lattice),
+            "dropped_flows": len(self.dropped_flows),
+            "elapsed_seconds": self.elapsed_seconds,
+            "verified": self.check_report is not None and self.verified,
+            "checked": self.check_report is not None,
+        }
+        if self.check_report is not None:
+            payload["check_report"] = self.check_report.to_dict()
+        return payload
+
 
 class InferenceEngine:
     def __init__(self, info: ProgramInfo, mode: str = "sinfer") -> None:

@@ -89,6 +89,29 @@ class MetricsSummary:
     def total_paths(self) -> int:
         return self.simple_paths + self.complex_paths
 
+    def to_dict(self) -> dict:
+        return {
+            "simple_count": self.simple_count,
+            "simple_locations": self.simple_locations,
+            "simple_paths": self.simple_paths,
+            "complex_count": self.complex_count,
+            "complex_locations": self.complex_locations,
+            "complex_paths": self.complex_paths,
+            "total_locations": self.total_locations,
+            "total_paths": self.total_paths,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsSummary":
+        return cls(
+            simple_count=int(data.get("simple_count", 0)),
+            simple_locations=int(data.get("simple_locations", 0)),
+            simple_paths=int(data.get("simple_paths", 0)),
+            complex_count=int(data.get("complex_count", 0)),
+            complex_locations=int(data.get("complex_locations", 0)),
+            complex_paths=int(data.get("complex_paths", 0)),
+        )
+
 
 def summarize_metrics(per_lattice: list[LatticeMetrics]) -> MetricsSummary:
     summary = MetricsSummary()

@@ -1,0 +1,42 @@
+"""Fixtures for the service-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import app_source, programs_dir
+
+
+@pytest.fixture(scope="session")
+def wind_source() -> str:
+    return app_source("wind_sensor")
+
+
+@pytest.fixture(scope="session")
+def app_files() -> list:
+    return sorted(programs_dir().glob("*.sj"))
+
+
+#: A program the checker rejects (flow-up assignment).
+BROKEN_SOURCE = '''
+@LATTICE("LOW<HIGH")
+class T {
+  @LOC("LOW") int low;
+  @LOC("HIGH") int high;
+  @LATTICE("B<X,X<IN") @THISLOC("X")
+  void run() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int v = Device.readSensor();
+      low = v;
+      high = low;
+      SJ.broadcast(high);
+    }
+  }
+}
+'''
+
+
+@pytest.fixture
+def broken_source() -> str:
+    return BROKEN_SOURCE

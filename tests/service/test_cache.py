@@ -1,0 +1,119 @@
+"""Result cache: LRU behavior, disk tier, versioning, warm-run speedup."""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.core.checker import check_program
+from repro.service.cache import (
+    ResultCache,
+    checker_fingerprint,
+    source_key,
+)
+from repro.service.pool import CheckerPool
+
+
+class TestKeying:
+    def test_key_depends_on_source(self):
+        assert source_key("class A {}") != source_key("class B {}")
+
+    def test_key_depends_on_checker_version(self, monkeypatch):
+        before = source_key("class A {}")
+        import repro
+
+        monkeypatch.setattr(repro, "__version__", "0.0.0-other")
+        assert source_key("class A {}") != before
+
+
+class TestMemoryTier:
+    def test_hit_after_put(self, wind_source):
+        cache = ResultCache()
+        assert cache.get(wind_source) is None
+        report = check_program(wind_source)
+        cache.put(wind_source, report)
+        hit = cache.get(wind_source)
+        assert hit is not None and hit.self_stabilizing
+        assert cache.stats.memory_hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lru_eviction(self, wind_source):
+        cache = ResultCache(max_entries=2)
+        report = check_program(wind_source)
+        cache.put("a", report)
+        cache.put("b", report)
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put("c", report)             # evicts "b"
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+
+
+class TestDiskTier:
+    def test_survives_new_instance(self, tmp_path, wind_source):
+        report = check_program(wind_source)
+        ResultCache(disk_dir=tmp_path).put(wind_source, report)
+        fresh = ResultCache(disk_dir=tmp_path)
+        hit = fresh.get(wind_source)
+        assert hit is not None and hit.self_stabilizing
+        assert fresh.stats.disk_hits == 1
+
+    def test_fingerprint_mismatch_is_a_miss(self, tmp_path, wind_source):
+        report = check_program(wind_source)
+        ResultCache(disk_dir=tmp_path).put(wind_source, report)
+        entry_path = next(tmp_path.glob("*.json"))
+        entry = json.loads(entry_path.read_text())
+        assert entry["fingerprint"] == checker_fingerprint()
+        entry["fingerprint"] = "repro-0.0.0/proto-0.0/schema-0"
+        entry_path.write_text(json.dumps(entry))
+        assert ResultCache(disk_dir=tmp_path).get(wind_source) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, wind_source):
+        report = check_program(wind_source)
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.put(wind_source, report)
+        for entry in tmp_path.glob("*.json"):
+            entry.write_text("{not json")
+        assert ResultCache(disk_dir=tmp_path).get(wind_source) is None
+
+    def test_failing_report_caches_its_verdict(self, tmp_path, broken_source):
+        report = check_program(broken_source)
+        assert not report.self_stabilizing
+        ResultCache(disk_dir=tmp_path).put(broken_source, report)
+        hit = ResultCache(disk_dir=tmp_path).get(broken_source)
+        assert hit is not None
+        assert not hit.self_stabilizing
+        assert len(hit.errors) == len(report.errors)
+
+
+class TestWarmRunSpeedup:
+    def test_warm_disk_cache_is_5x_faster(self, tmp_path, app_files):
+        """Acceptance criterion: a second batch run over the six bundled
+        apps with a warm disk cache re-checks unchanged files at least
+        5× faster.  Threshold is generous — observed is 20–50×."""
+        assert len(app_files) == 6
+
+        cold_pool = CheckerPool(max_workers=1,
+                                cache=ResultCache(disk_dir=tmp_path))
+        start = time.perf_counter()
+        cold = cold_pool.check_paths(app_files)
+        cold_elapsed = time.perf_counter() - start
+        assert all(r.ok for r in cold)
+        assert not any(r.cached for r in cold)
+
+        # A fresh pool + fresh memory tier: only the disk store is warm.
+        warm_elapsed = float("inf")
+        for _ in range(3):  # best-of-3 to shrug off scheduler noise
+            warm_pool = CheckerPool(max_workers=1,
+                                    cache=ResultCache(disk_dir=tmp_path))
+            start = time.perf_counter()
+            warm = warm_pool.check_paths(app_files)
+            warm_elapsed = min(warm_elapsed, time.perf_counter() - start)
+            assert all(r.ok for r in warm)
+            assert all(r.cached for r in warm)
+
+        assert warm_elapsed * 5 <= cold_elapsed, (
+            f"warm {warm_elapsed:.4f}s not 5x faster than "
+            f"cold {cold_elapsed:.4f}s"
+        )

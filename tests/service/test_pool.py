@@ -1,0 +1,126 @@
+"""Batch checking: verdicts, timings, cache integration, process fan-out."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.pool import (
+    ERROR,
+    FAIL,
+    FRONT_END_ERROR,
+    PASS,
+    BatchResult,
+    CheckerPool,
+    check_source_payload,
+    timed_check,
+)
+
+
+class TestTimedCheck:
+    def test_reports_per_pass_timings(self, wind_source):
+        report, timings = timed_check(wind_source)
+        assert report.self_stabilizing
+        assert set(timings) == {"parse", "resolve", "typecheck", "check"}
+        assert all(t >= 0.0 for t in timings.values())
+
+    def test_payload_for_front_end_error(self):
+        payload = check_source_payload("class {", file="bad.sj")
+        assert payload["kind"] == "error"
+        assert payload["error"] == "front-end"
+        assert payload["file"] == "bad.sj"
+
+
+class TestBatchVerdicts:
+    def test_all_bundled_apps_pass_with_timings(self, app_files):
+        """Acceptance criterion: batch over the bundled programs yields a
+        per-file verdict and timing for all six apps."""
+        results = CheckerPool(max_workers=1).check_paths(app_files)
+        assert [r.path for r in results] == [str(p) for p in app_files]
+        assert all(r.verdict == PASS for r in results)
+        assert all(r.elapsed_seconds > 0.0 for r in results)
+        assert all(r.payload["timings"] for r in results)
+
+    def test_failing_program(self, tmp_path, broken_source):
+        bad = tmp_path / "bad.sj"
+        bad.write_text(broken_source)
+        (result,) = CheckerPool().check_paths([bad])
+        assert result.verdict == FAIL
+        assert result.error_count > 0
+        assert not result.ok
+
+    def test_front_end_error(self, tmp_path):
+        bad = tmp_path / "syntax.sj"
+        bad.write_text("class {")
+        (result,) = CheckerPool().check_paths([bad])
+        assert result.verdict == FRONT_END_ERROR
+        assert result.message
+
+    def test_unreadable_file(self, tmp_path):
+        (result,) = CheckerPool().check_paths([tmp_path / "missing.sj"])
+        assert result.verdict == ERROR
+
+    def test_results_keep_input_order(self, tmp_path, app_files, broken_source):
+        bad = tmp_path / "bad.sj"
+        bad.write_text(broken_source)
+        mixed = [app_files[0], bad, app_files[1]]
+        results = CheckerPool().check_paths(mixed)
+        assert [r.verdict for r in results] == [PASS, FAIL, PASS]
+
+    def test_to_dict_round_trip(self, app_files):
+        (result,) = CheckerPool().check_paths(app_files[:1])
+        entry = result.to_dict()
+        assert entry["verdict"] == PASS
+        assert entry["payload"]["kind"] == "check"
+
+
+class TestCacheIntegration:
+    def test_second_run_is_served_from_cache(self, app_files):
+        cache = ResultCache()
+        pool = CheckerPool(max_workers=1, cache=cache)
+        first = pool.check_paths(app_files)
+        assert not any(r.cached for r in first)
+        second = pool.check_paths(app_files)
+        assert all(r.cached for r in second)
+        assert all(r.verdict == PASS for r in second)
+        assert pool.stats()["cache"]["memory_hits"] == len(app_files)
+
+    def test_failing_verdict_is_cached_too(self, tmp_path, broken_source):
+        bad = tmp_path / "bad.sj"
+        bad.write_text(broken_source)
+        pool = CheckerPool(cache=ResultCache())
+        (first,) = pool.check_paths([bad])
+        (second,) = pool.check_paths([bad])
+        assert first.verdict == FAIL and second.verdict == FAIL
+        assert second.cached
+        assert second.error_count == first.error_count
+
+
+class TestProcessPool:
+    def test_parallel_matches_serial(self, app_files, tmp_path, broken_source):
+        bad = tmp_path / "bad.sj"
+        bad.write_text(broken_source)
+        paths = list(app_files) + [bad]
+        serial = CheckerPool(max_workers=1).check_paths(paths)
+        parallel = CheckerPool(max_workers=2).check_paths(paths)
+        assert [r.verdict for r in parallel] == [r.verdict for r in serial]
+        assert [r.path for r in parallel] == [r.path for r in serial]
+
+    def test_parallel_feeds_the_parent_cache(self, app_files):
+        cache = ResultCache()
+        pool = CheckerPool(max_workers=2, cache=cache)
+        pool.check_paths(app_files)
+        warm = pool.check_paths(app_files)
+        assert all(r.cached for r in warm)
+
+
+class TestSingleSource:
+    def test_check_source(self, wind_source):
+        result = CheckerPool().check_source(wind_source, file="wind.sj")
+        assert result.verdict == PASS
+        assert result.payload["file"] == "wind.sj"
+
+    def test_check_source_uses_cache(self, wind_source):
+        pool = CheckerPool(cache=ResultCache())
+        assert not pool.check_source(wind_source).cached
+        assert pool.check_source(wind_source).cached

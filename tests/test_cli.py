@@ -86,6 +86,29 @@ class TestRunAndInject:
         ]) == 0
         assert "corrupted:" in capsys.readouterr().out
 
+    def test_inject_exit_1_when_trials_diverge(self, monkeypatch, capsys):
+        """A diverged trial falsifies stabilization: that run must not
+        exit 0."""
+        from repro.runtime.stabilization import InjectionTrial
+
+        diverged = InjectionTrial(
+            target_step=1, injection_iteration=2, corrupted_output=True,
+            recovery_samples=None, recovery_iterations=None, diverged=True,
+        )
+
+        class FakeExperiment:
+            def __init__(self, *args, **kwargs):
+                pass
+
+            def run_trials(self, trials, seed=0):
+                return [diverged] * trials
+
+        monkeypatch.setattr(
+            "repro.cli.StabilizationExperiment", FakeExperiment
+        )
+        assert main(["inject", WEATHER, "--trials", "3"]) == 1
+        assert "diverged: 3" in capsys.readouterr().out
+
 
 class TestLattices:
     def test_ascii_rendering(self, capsys):
