@@ -1,0 +1,39 @@
+"""The checking service: batch, cache, daemon, wire protocol.
+
+The single-shot CLI re-runs the front end and all six analyses per
+invocation; this package turns the checker into infrastructure that can
+serve sustained traffic (see ``docs/SERVICE.md``):
+
+* :mod:`repro.service.protocol` — versioned JSON payloads for
+  diagnostics, reports and inference summaries;
+* :mod:`repro.service.cache` — content-addressed result cache
+  (in-memory LRU + on-disk store), keyed by SHA-256 of source +
+  checker version;
+* :mod:`repro.service.pool` — process-pool batch checking with
+  per-task timeouts and graceful in-process degradation;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a
+  long-lived Unix-socket daemon speaking newline-delimited JSON.
+
+CLI entry points: ``repro batch``, ``repro serve``, and ``--json`` on
+``repro check`` / ``repro infer``.
+"""
+
+from repro.service.cache import ResultCache, checker_fingerprint, source_key
+from repro.service.client import ReproClient, ServiceError
+from repro.service.pool import BatchResult, CheckerPool
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import ReproServer, serve
+
+__all__ = [
+    "BatchResult",
+    "CheckerPool",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ReproClient",
+    "ReproServer",
+    "ResultCache",
+    "ServiceError",
+    "checker_fingerprint",
+    "serve",
+    "source_key",
+]

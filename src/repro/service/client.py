@@ -1,0 +1,108 @@
+"""Client for the checking daemon.
+
+Speaks the newline-delimited JSON protocol of
+:mod:`repro.service.server` over a Unix socket.  One client holds one
+connection and may issue many requests; use it as a context manager::
+
+    with ReproClient(socket_path) as client:
+        response = client.check(source=text)
+        assert response["self_stabilizing"]
+        client.shutdown()
+"""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+from typing import Optional
+
+from repro.service import protocol
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok: false`` (or not at all)."""
+
+
+class ReproClient:
+    def __init__(self, socket_path: str | Path, timeout: float = 30.0) -> None:
+        self.socket_path = str(socket_path)
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> "ReproClient":
+        if self._sock is None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+            self._sock = sock
+            self._reader = sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        if self._reader is not None:
+            self._reader.close()
+            self._reader = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ReproClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- requests --------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request, wait for its one-line response."""
+        self.connect()
+        assert self._sock is not None and self._reader is not None
+        self._sock.sendall((protocol.dumps(payload) + "\n").encode("utf-8"))
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("daemon closed the connection")
+        response = protocol.loads(line.decode("utf-8"))
+        protocol.validate_version(response)
+        return response
+
+    def _checked(self, payload: dict) -> dict:
+        response = self.request(payload)
+        if not response.get("ok"):
+            raise ServiceError(response.get("message", "request failed"))
+        return response
+
+    def check(
+        self, *, source: Optional[str] = None, path: Optional[str] = None
+    ) -> dict:
+        return self._checked(self._locate("check", source, path))
+
+    def infer(
+        self,
+        *,
+        source: Optional[str] = None,
+        path: Optional[str] = None,
+        mode: str = "sinfer",
+        verify: bool = True,
+    ) -> dict:
+        request = self._locate("infer", source, path)
+        request["mode"] = mode
+        request["verify"] = verify
+        return self._checked(request)
+
+    def status(self) -> dict:
+        return self._checked({"op": "status"})
+
+    def shutdown(self) -> dict:
+        return self._checked({"op": "shutdown"})
+
+    @staticmethod
+    def _locate(op: str, source: Optional[str], path: Optional[str]) -> dict:
+        if (source is None) == (path is None):
+            raise ValueError(f"{op} needs exactly one of source= or path=")
+        if source is not None:
+            return {"op": op, "source": source}
+        return {"op": op, "path": str(path)}

@@ -1,0 +1,281 @@
+"""Parallel batch checking.
+
+:class:`CheckerPool` fans a batch of ``.sj`` files out across worker
+processes (``concurrent.futures.ProcessPoolExecutor``) with a per-task
+timeout.  Cache lookups happen in the parent — only misses are shipped
+to workers, and their reports are written back through the shared
+:class:`~repro.service.cache.ResultCache`, so a warm batch run touches
+no worker at all.
+
+With ``max_workers=1`` the pool degrades gracefully to plain in-process
+execution: no subprocesses, no pickling, no timeout enforcement — the
+mode used by tests, coverage runs, and platforms without ``fork``.
+
+Workers return protocol payloads (plain dicts), not checker objects, so
+the wire format is exercised on every parallel run and nothing
+unpicklable crosses the process boundary.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+from repro.core.checker import CheckReport, SJavaChecker
+from repro.lang import parse_program, resolve_program, typecheck_program
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError
+from repro.lang.symtab import ResolveError
+from repro.lang.typecheck import JavaTypeError
+from repro.service import protocol
+from repro.service.cache import ResultCache
+
+_FRONT_END_ERRORS = (LexError, ParseError, ResolveError, JavaTypeError)
+
+#: Verdicts a batch item can end with.
+PASS = "pass"
+FAIL = "fail"
+FRONT_END_ERROR = "front-end-error"
+TIMEOUT = "timeout"
+ERROR = "error"
+
+
+def timed_check(source: str) -> tuple[CheckReport, dict]:
+    """Run the full pipeline on one source, timing each pass.
+
+    Front-end failures raise (as in :func:`repro.core.checker.check_program`);
+    the returned timings cover ``parse``/``resolve``/``typecheck``/``check``
+    in seconds.
+    """
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    program = parse_program(source)
+    timings["parse"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    info = resolve_program(program)
+    timings["resolve"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    typecheck_program(info)
+    timings["typecheck"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    report = SJavaChecker(info).run()
+    timings["check"] = time.perf_counter() - start
+    return report, timings
+
+
+def check_source_payload(source: str, *, file: Optional[str] = None) -> dict:
+    """Check one source and return a protocol payload (``check`` on
+    success, ``error`` on front-end failure).  This is the unit of work
+    shipped to pool workers, so it must stay a module-level function
+    (picklable) returning plain dicts."""
+    start = time.perf_counter()
+    try:
+        report, timings = timed_check(source)
+    except _FRONT_END_ERRORS as exc:
+        return protocol.error_payload(str(exc), file=file)
+    return protocol.check_payload(
+        report,
+        file=file,
+        elapsed_seconds=time.perf_counter() - start,
+        timings=timings,
+    )
+
+
+def _check_path_worker(path: str) -> dict:
+    try:
+        source = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return protocol.error_payload(str(exc), file=path, error="io")
+    return check_source_payload(source, file=path)
+
+
+@dataclass
+class BatchResult:
+    """Outcome of checking one file in a batch."""
+
+    path: str
+    verdict: str  # one of PASS/FAIL/FRONT_END_ERROR/TIMEOUT/ERROR
+    elapsed_seconds: float
+    cached: bool = False
+    error_count: int = 0
+    message: str = ""
+    payload: Optional[dict] = None  # the protocol payload, when one exists
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == PASS
+
+    def to_dict(self) -> dict:
+        entry = {
+            "path": self.path,
+            "verdict": self.verdict,
+            "elapsed_seconds": self.elapsed_seconds,
+            "cached": self.cached,
+            "error_count": self.error_count,
+        }
+        if self.message:
+            entry["message"] = self.message
+        if self.payload is not None:
+            entry["payload"] = self.payload
+        return entry
+
+
+@dataclass
+class CheckerPool:
+    """Batch front end over the checker: cache, fan-out, timeouts.
+
+    ``task_timeout`` (seconds) bounds each file's check when running
+    with worker processes; a timed-out task is abandoned (its worker is
+    left to finish in the background and the executor reaps it on
+    shutdown).  In-process mode cannot interrupt a check, so the timeout
+    is not enforced there.
+    """
+
+    max_workers: int = 1
+    task_timeout: Optional[float] = None
+    cache: Optional[ResultCache] = None
+    _stats: dict = field(default_factory=lambda: {"checked": 0, "cached": 0})
+
+    # -- public API ------------------------------------------------------
+
+    def check_paths(self, paths: Sequence[str | Path]) -> list[BatchResult]:
+        """Check many files; results come back in input order."""
+        sources: list[tuple[str, Optional[str]]] = []
+        for path in paths:
+            try:
+                sources.append(
+                    (str(path), Path(path).read_text(encoding="utf-8"))
+                )
+            except OSError:
+                sources.append((str(path), None))
+        results: list[Optional[BatchResult]] = [None] * len(sources)
+        misses: list[tuple[int, str, str]] = []  # (index, path, source)
+
+        for index, (path, source) in enumerate(sources):
+            if source is None:
+                results[index] = BatchResult(
+                    path=path, verdict=ERROR, elapsed_seconds=0.0,
+                    message=f"cannot read {path}",
+                )
+                continue
+            cached = self.cache.get(source) if self.cache is not None else None
+            if cached is not None:
+                self._stats["cached"] += 1
+                results[index] = BatchResult(
+                    path=path,
+                    verdict=PASS if cached.self_stabilizing else FAIL,
+                    elapsed_seconds=0.0,
+                    cached=True,
+                    error_count=len(cached.errors),
+                    payload=protocol.check_payload(
+                        cached, file=path, cached=True
+                    ),
+                )
+            else:
+                misses.append((index, path, source))
+
+        for index, payload in self._execute(misses):
+            path, source = sources[index][0], sources[index][1]
+            results[index] = self._absorb(path, source, payload)
+
+        return [r for r in results if r is not None]
+
+    def check_source(self, source: str, *, file: str = "<memory>") -> BatchResult:
+        """Single-source entry point used by the daemon."""
+        cached = self.cache.get(source) if self.cache is not None else None
+        if cached is not None:
+            self._stats["cached"] += 1
+            return BatchResult(
+                path=file,
+                verdict=PASS if cached.self_stabilizing else FAIL,
+                elapsed_seconds=0.0,
+                cached=True,
+                error_count=len(cached.errors),
+                payload=protocol.check_payload(cached, file=file, cached=True),
+            )
+        start = time.perf_counter()
+        payload = check_source_payload(source, file=file)
+        return self._absorb(file, source, payload,
+                            elapsed=time.perf_counter() - start)
+
+    def stats(self) -> dict:
+        stats = dict(self._stats)
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats.to_dict()
+        return stats
+
+    # -- execution -------------------------------------------------------
+
+    def _execute(
+        self, misses: list[tuple[int, str, str]]
+    ) -> Iterable[tuple[int, dict]]:
+        if not misses:
+            return
+        if self.max_workers <= 1:
+            for index, path, source in misses:
+                yield index, check_source_payload(source, file=path)
+            return
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.max_workers
+        ) as executor:
+            futures = [
+                (index, path, executor.submit(_check_path_worker, path))
+                for index, path, _ in misses
+            ]
+            for index, path, future in futures:
+                try:
+                    yield index, future.result(timeout=self.task_timeout)
+                except concurrent.futures.TimeoutError:
+                    future.cancel()
+                    yield index, protocol.error_payload(
+                        f"check exceeded {self.task_timeout:.1f}s",
+                        file=path,
+                        error="timeout",
+                    )
+                except Exception as exc:  # worker crash, broken pool
+                    yield index, protocol.error_payload(
+                        str(exc), file=path, error="worker"
+                    )
+
+    def _absorb(
+        self,
+        path: str,
+        source: Optional[str],
+        payload: dict,
+        *,
+        elapsed: Optional[float] = None,
+    ) -> BatchResult:
+        """Turn a worker payload into a BatchResult, feeding the cache."""
+        self._stats["checked"] += 1
+        if payload.get("kind") == "check":
+            report = protocol.report_from_payload(payload)
+            if self.cache is not None and source is not None:
+                self.cache.put(source, report)
+            return BatchResult(
+                path=path,
+                verdict=PASS if report.self_stabilizing else FAIL,
+                elapsed_seconds=(
+                    elapsed if elapsed is not None
+                    else float(payload.get("elapsed_seconds", 0.0))
+                ),
+                error_count=len(report.errors),
+                payload=payload,
+            )
+        error_kind = payload.get("error", "error")
+        verdict = {
+            "front-end": FRONT_END_ERROR,
+            "timeout": TIMEOUT,
+        }.get(error_kind, ERROR)
+        return BatchResult(
+            path=path,
+            verdict=verdict,
+            elapsed_seconds=elapsed if elapsed is not None else 0.0,
+            message=str(payload.get("message", "")),
+            payload=payload,
+        )

@@ -1,0 +1,191 @@
+"""Versioned JSON wire protocol for the checking service.
+
+Every payload the service emits — ``repro check --json``, ``repro batch
+--json``, daemon responses — is a JSON object carrying a ``version``
+field so clients can reject envelopes they do not understand.  The
+schema is documented in ``docs/SERVICE.md``; :func:`validate_check_payload`
+is the executable version of that document.
+
+Payload kinds:
+
+* ``check`` — verdict of one :class:`~repro.core.checker.CheckReport`
+  (:func:`check_payload` / :func:`report_from_payload`);
+* ``infer`` — an inference run summary (:func:`infer_payload`);
+* ``error`` — a front-end or service failure (:func:`error_payload`).
+
+Serialization is newline-delimited: :func:`dumps` produces exactly one
+line (no interior newlines), which is what the daemon speaks over its
+Unix socket.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.core.checker import CheckReport
+from repro.core.errors import Check, Severity
+
+#: Bump the minor version for additive changes, the major version for
+#: breaking ones.  Cache entries embed this, so any bump invalidates the
+#: on-disk result store.
+PROTOCOL_VERSION = "1.0"
+
+
+class ProtocolError(ValueError):
+    """A payload violated the documented schema."""
+
+
+def dumps(payload: dict) -> str:
+    """Compact, single-line, key-sorted JSON — the wire form."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def loads(line: str) -> dict:
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"invalid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("payload must be a JSON object")
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Payload constructors
+# ---------------------------------------------------------------------------
+
+
+def check_payload(
+    report: CheckReport,
+    *,
+    file: Optional[str] = None,
+    elapsed_seconds: Optional[float] = None,
+    timings: Optional[dict] = None,
+    cached: bool = False,
+) -> dict:
+    payload = {
+        "version": PROTOCOL_VERSION,
+        "kind": "check",
+        "self_stabilizing": report.self_stabilizing,
+        "error_count": len(report.errors),
+        "warning_count": len(report.warnings),
+        "report": report.to_dict(),
+        "cached": cached,
+    }
+    if file is not None:
+        payload["file"] = file
+    if elapsed_seconds is not None:
+        payload["elapsed_seconds"] = elapsed_seconds
+    if timings is not None:
+        payload["timings"] = timings
+    return payload
+
+
+def report_from_payload(payload: dict) -> CheckReport:
+    validate_check_payload(payload)
+    return CheckReport.from_dict(payload["report"])
+
+
+def infer_payload(
+    summary: dict,
+    *,
+    file: Optional[str] = None,
+    timings: Optional[dict] = None,
+) -> dict:
+    """Wrap :meth:`InferenceResult.summary_dict` in a versioned envelope."""
+    payload = {"version": PROTOCOL_VERSION, "kind": "infer", **summary}
+    if file is not None:
+        payload["file"] = file
+    if timings is not None:
+        payload["timings"] = timings
+    return payload
+
+
+def error_payload(
+    message: str, *, file: Optional[str] = None, error: str = "front-end"
+) -> dict:
+    """A failure that produced no report (syntax/resolve/type errors,
+    worker crashes, timeouts)."""
+    payload = {
+        "version": PROTOCOL_VERSION,
+        "kind": "error",
+        "error": error,
+        "message": message,
+    }
+    if file is not None:
+        payload["file"] = file
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+_SEVERITIES = {s.value for s in Severity}
+_CHECKS = {c.value for c in Check}
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ProtocolError(message)
+
+
+def validate_version(payload: dict) -> None:
+    version = payload.get("version")
+    _require(isinstance(version, str), "missing protocol version")
+    major = version.split(".", 1)[0]
+    _require(
+        major == PROTOCOL_VERSION.split(".", 1)[0],
+        f"unsupported protocol version {version!r} "
+        f"(speaking {PROTOCOL_VERSION})",
+    )
+
+
+def validate_diagnostic(entry: dict) -> None:
+    _require(isinstance(entry, dict), "diagnostic must be an object")
+    _require(entry.get("severity") in _SEVERITIES,
+             f"bad severity {entry.get('severity')!r}")
+    _require(entry.get("check") in _CHECKS,
+             f"bad check kind {entry.get('check')!r}")
+    _require(isinstance(entry.get("message"), str), "diagnostic needs a message")
+    for field in ("line", "col"):
+        _require(isinstance(entry.get(field), int), f"diagnostic needs int {field}")
+    _require(isinstance(entry.get("context"), str), "diagnostic needs context")
+
+
+def validate_check_payload(payload: dict) -> None:
+    """Raise :class:`ProtocolError` unless ``payload`` is a well-formed
+    ``check`` envelope (the schema in ``docs/SERVICE.md``)."""
+    validate_version(payload)
+    _require(payload.get("kind") == "check",
+             f"expected kind 'check', got {payload.get('kind')!r}")
+    _require(isinstance(payload.get("self_stabilizing"), bool),
+             "self_stabilizing must be a bool")
+    for field in ("error_count", "warning_count"):
+        _require(isinstance(payload.get(field), int), f"{field} must be an int")
+    report = payload.get("report")
+    _require(isinstance(report, dict), "missing report object")
+    _require(isinstance(report.get("self_stabilizing"), bool),
+             "report.self_stabilizing must be a bool")
+    diagnostics = report.get("diagnostics")
+    _require(isinstance(diagnostics, list), "report.diagnostics must be a list")
+    for entry in diagnostics:
+        validate_diagnostic(entry)
+    _require(
+        payload["error_count"]
+        == sum(1 for d in diagnostics if d["severity"] == "error"),
+        "error_count disagrees with diagnostics",
+    )
+    _require(
+        payload["self_stabilizing"] == (payload["error_count"] == 0),
+        "self_stabilizing disagrees with error_count",
+    )
+    scope = report.get("checked_scope")
+    _require(isinstance(scope, list), "report.checked_scope must be a list")
+    for pair in scope:
+        _require(
+            isinstance(pair, list) and len(pair) == 2
+            and all(isinstance(p, str) for p in pair),
+            "checked_scope entries must be [class, method] string pairs",
+        )

@@ -1,0 +1,215 @@
+"""The checking daemon: newline-delimited JSON over a Unix socket.
+
+``repro serve --socket PATH`` starts a long-lived process that keeps
+the checker warm (parsed once per request, cached by content), so
+editors and build systems pay socket-round-trip latency instead of
+interpreter start-up per check.
+
+One request per line, one response per line; a connection may issue any
+number of requests.  Operations:
+
+* ``{"op": "check",  "source": ...}`` or ``{"op": "check", "path": ...}``
+  — run the self-stabilization checker (cache-aware); response embeds
+  the standard ``check`` payload plus per-pass ``timings``;
+* ``{"op": "infer",  "source"|"path": ..., "mode": "sinfer"|"naive"}``
+  — run annotation inference; response carries the stable summary and
+  the annotated source;
+* ``{"op": "status"}`` — uptime-style counters: requests served per op,
+  cache statistics;
+* ``{"op": "shutdown"}`` — acknowledge, then stop the daemon.
+
+Every response carries ``version``, ``ok``, and the server-assigned
+``request_id`` (a monotonically increasing counter).
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.infer import infer_annotations
+from repro.lang import parse_program, resolve_program, typecheck_program
+from repro.lang.lexer import LexError
+from repro.lang.parser import ParseError
+from repro.lang.symtab import ResolveError
+from repro.lang.typecheck import JavaTypeError
+from repro.service import protocol
+from repro.service.cache import ResultCache
+from repro.service.pool import CheckerPool
+
+_FRONT_END_ERRORS = (LexError, ParseError, ResolveError, JavaTypeError)
+
+OPS = ("check", "infer", "status", "shutdown")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: ReproServer = self.server  # type: ignore[assignment]
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            response = server.dispatch(line)
+            self.wfile.write((protocol.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("op") == "shutdown" and response.get("ok"):
+                return
+
+
+class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
+    """The daemon.  Construct, then call :meth:`serve_forever` (or
+    :meth:`start` to run it on a background thread, as tests do)."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(
+        self,
+        socket_path: str | Path,
+        *,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        self.socket_path = str(socket_path)
+        Path(self.socket_path).parent.mkdir(parents=True, exist_ok=True)
+        Path(self.socket_path).unlink(missing_ok=True)
+        super().__init__(self.socket_path, _Handler)
+        self.pool = CheckerPool(max_workers=1, cache=cache)
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._request_counter = 0
+        self._op_counts: dict[str, int] = {op: 0 for op in OPS}
+        self._shutdown_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> threading.Thread:
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def close(self) -> None:
+        self.server_close()
+        Path(self.socket_path).unlink(missing_ok=True)
+
+    # -- dispatch --------------------------------------------------------
+
+    def dispatch(self, line: str) -> dict:
+        with self._lock:
+            self._request_counter += 1
+            request_id = self._request_counter
+        try:
+            request = protocol.loads(line)
+        except protocol.ProtocolError as exc:
+            return self._error(request_id, "?", str(exc))
+        op = request.get("op")
+        if op not in OPS:
+            return self._error(request_id, str(op), f"unknown op {op!r}")
+        with self._lock:
+            self._op_counts[op] += 1
+        try:
+            handler = getattr(self, f"_op_{op}")
+            return handler(request, request_id)
+        except _FRONT_END_ERRORS as exc:
+            return self._error(request_id, op, f"front-end error: {exc}")
+        except Exception as exc:  # a bug must not kill the daemon
+            return self._error(request_id, op, f"internal error: {exc}")
+
+    def _error(self, request_id: int, op: str, message: str) -> dict:
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "ok": False,
+            "op": op,
+            "request_id": request_id,
+            "message": message,
+        }
+
+    def _envelope(self, request_id: int, op: str, **fields) -> dict:
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "ok": True,
+            "op": op,
+            "request_id": request_id,
+            **fields,
+        }
+
+    @staticmethod
+    def _request_source(request: dict) -> tuple[str, str]:
+        if "source" in request:
+            return str(request["source"]), str(request.get("file", "<socket>"))
+        if "path" in request:
+            path = str(request["path"])
+            return Path(path).read_text(encoding="utf-8"), path
+        raise ValueError("request needs 'source' or 'path'")
+
+    # -- operations ------------------------------------------------------
+
+    def _op_check(self, request: dict, request_id: int) -> dict:
+        try:
+            source, name = self._request_source(request)
+        except (ValueError, OSError) as exc:
+            return self._error(request_id, "check", str(exc))
+        result = self.pool.check_source(source, file=name)
+        if result.payload is not None and result.payload.get("kind") == "check":
+            return self._envelope(request_id, "check", **result.payload)
+        message = result.message or "check failed"
+        return self._error(request_id, "check", message)
+
+    def _op_infer(self, request: dict, request_id: int) -> dict:
+        try:
+            source, name = self._request_source(request)
+        except (ValueError, OSError) as exc:
+            return self._error(request_id, "infer", str(exc))
+        mode = str(request.get("mode", "sinfer"))
+        if mode not in ("sinfer", "naive"):
+            return self._error(request_id, "infer", f"unknown mode {mode!r}")
+        start = time.perf_counter()
+        program = parse_program(source)
+        info = resolve_program(program)
+        typecheck_program(info)
+        result = infer_annotations(
+            info, mode=mode, verify=bool(request.get("verify", True))
+        )
+        payload = protocol.infer_payload(
+            result.summary_dict(),
+            file=name,
+            timings={"total": time.perf_counter() - start},
+        )
+        payload["annotated_source"] = result.annotated_source
+        return self._envelope(request_id, "infer", **payload)
+
+    def _op_status(self, request: dict, request_id: int) -> dict:
+        with self._lock:
+            op_counts = dict(self._op_counts)
+            served = self._request_counter
+        return self._envelope(
+            request_id,
+            "status",
+            requests_served=served,
+            op_counts=op_counts,
+            uptime_seconds=time.time() - self.started_at,
+            pool=self.pool.stats(),
+        )
+
+    def _op_shutdown(self, request: dict, request_id: int) -> dict:
+        # shutdown() blocks until serve_forever() returns, so it must run
+        # off the handler thread; the response still goes out first
+        # because the handler writes it before the loop notices.
+        self._shutdown_thread = threading.Thread(
+            target=self.shutdown, daemon=True
+        )
+        self._shutdown_thread.start()
+        return self._envelope(request_id, "shutdown", stopping=True)
+
+
+def serve(
+    socket_path: str | Path, *, cache: Optional[ResultCache] = None
+) -> None:
+    """Run a daemon until it is shut down (blocking)."""
+    server = ReproServer(socket_path, cache=cache)
+    try:
+        server.serve_forever()
+    finally:
+        server.close()
