@@ -19,6 +19,7 @@ from repro.apps.registry import (
     APP_NAMES,
     AppBundle,
     app_device_factory,
+    app_experiment,
     app_path,
     app_source,
     load_app,
@@ -30,6 +31,7 @@ __all__ = [
     "APP_NAMES",
     "AppBundle",
     "app_device_factory",
+    "app_experiment",
     "app_path",
     "app_source",
     "load_app",

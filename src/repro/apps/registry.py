@@ -175,3 +175,29 @@ def app_device_factory(
         return IterationKeyedDevice(generator, iterations=count)
 
     return factory
+
+
+def app_experiment(
+    name: str,
+    iterations: int | None = None,
+    *,
+    step_budget: int | None = None,
+    step_budget_factor: int | None = None,
+):
+    """A ready-to-run stabilization experiment for one registered app.
+
+    This is the unit fault-injection campaign workers reconstruct from
+    an app name (everything else they need crosses the process boundary
+    as plain ints), so it must stay derivable from ``name`` alone.
+    """
+    from repro.runtime.interpreter import RuntimeOptions
+    from repro.runtime.stabilization import StabilizationExperiment
+
+    bundle = load_app(name)
+    return StabilizationExperiment(
+        bundle.info,
+        app_device_factory(name, iterations),
+        options=RuntimeOptions(ignore_errors=True),
+        step_budget=step_budget,
+        step_budget_factor=step_budget_factor,
+    )

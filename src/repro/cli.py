@@ -9,6 +9,10 @@ Subcommands mirror the workflow of the paper's tool:
 * ``repro run FILE``        — execute the program on synthetic inputs;
 * ``repro inject FILE``     — run fault-injection trials and report
   recovery distances (exit 1 when any trial diverged);
+* ``repro campaign``        — parallel, resumable fault-injection sweep
+  across the registered apps (exhaustive/stratified/uniform site plans,
+  per-shard checkpointing, step-budget watchdog; see
+  ``docs/ROBUSTNESS.md``);
 * ``repro lattices FILE``   — render the program's location lattices;
 * ``repro batch DIR...``    — check many files via the cached, parallel
   service (per-file verdicts + timings);
@@ -149,6 +153,74 @@ def cmd_inject(args: argparse.Namespace) -> int:
     return 1 if diverged > 0 else 0
 
 
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.apps import APP_NAMES
+    from repro.runtime.campaign import (
+        CampaignConfig,
+        CampaignError,
+        CampaignRunner,
+    )
+
+    apps = (
+        tuple(APP_NAMES) if args.apps == "all"
+        else tuple(name.strip() for name in args.apps.split(",") if name.strip())
+    )
+    try:
+        config = CampaignConfig(
+            apps=apps,
+            mode=args.mode,
+            trials=args.trials,
+            strata=args.strata,
+            max_sites=args.max_sites,
+            iterations=args.iterations,
+            burst=args.burst,
+            seed=args.seed,
+            shard_size=args.shard_size,
+            step_budget_factor=args.step_budget_factor,
+        )
+        runner = CampaignRunner(
+            config=config,
+            checkpoint_path=Path(args.checkpoint) if args.checkpoint else None,
+            max_workers=args.jobs,
+            shard_timeout=args.shard_timeout,
+            fresh=args.fresh,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+        report = runner.run()
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    payload = protocol.campaign_payload(report)
+    if args.report:
+        Path(args.report).write_text(
+            protocol.dumps(payload) + "\n", encoding="utf-8"
+        )
+        print(f"// report written to {args.report}", file=sys.stderr)
+    if args.json:
+        print(protocol.dumps(payload))
+    else:
+        for entry in report["apps"]:
+            print(
+                f"{entry['app']:<16} {entry['trials']:4d} trials  "
+                f"masked {entry['mask_rate']:6.1%}  "
+                f"diverged {entry['divergence_rate']:6.1%}  "
+                f"timeout {entry['timeout_rate']:6.1%}  "
+                f"p95 recovery "
+                f"{entry['recovery_iterations_p95'] if entry['recovery_iterations_p95'] is not None else '-'} it"
+            )
+        shards = report["shards"]
+        print(
+            f"// {shards['completed']}/{shards['planned']} shards completed, "
+            f"{shards['infra_failed']} infra-failed, "
+            f"complete={str(report['complete']).lower()}"
+        )
+    # An incomplete or infra-degraded sweep is a failing run: its
+    # statistics do not cover the planned corruption space.
+    if not report["complete"] or report["shards"]["infra_failed"] > 0:
+        return 1
+    return 0
+
+
 def cmd_lattices(args: argparse.Namespace) -> int:
     info = _load(args.file)
     world = LocationWorld(info, DiagnosticSink())
@@ -278,6 +350,51 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--bin", type=int, default=8,
                         help="histogram bin size in output samples")
     inject.set_defaults(func=cmd_inject)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="parallel, resumable fault-injection sweep across the apps",
+    )
+    campaign.add_argument("--apps", default="all",
+                          help="comma-separated registered app names "
+                               "(default: all)")
+    campaign.add_argument("--mode",
+                          choices=("exhaustive", "stratified", "uniform"),
+                          default="stratified",
+                          help="corruption-site plan (default: stratified)")
+    campaign.add_argument("--trials", type=int, default=64,
+                          help="per-app trials (stratified/uniform modes)")
+    campaign.add_argument("--strata", type=int, default=8,
+                          help="site-space slices for stratified mode")
+    campaign.add_argument("--max-sites", type=int, default=None,
+                          help="evenly thin exhaustive sweeps to this many "
+                               "sites per app")
+    campaign.add_argument("--iterations", type=int, default=None,
+                          help="event-loop iterations per run "
+                               "(default: per-app registered length)")
+    campaign.add_argument("--burst", type=int, default=1,
+                          help="consecutive sites corrupted per trial")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = in-process)")
+    campaign.add_argument("--shard-size", type=int, default=16,
+                          help="trials per shard (checkpoint granularity)")
+    campaign.add_argument("--shard-timeout", type=float, default=120.0,
+                          help="wall-clock seconds per shard (needs --jobs > 1)")
+    campaign.add_argument("--step-budget-factor", type=int, default=64,
+                          help="watchdog: injected runs may use this multiple "
+                               "of the clean run's steps before counting as "
+                               "timeout")
+    campaign.add_argument("--checkpoint", default=None,
+                          help="manifest path; an interrupted campaign "
+                               "resumes from it")
+    campaign.add_argument("--fresh", action="store_true",
+                          help="discard an existing checkpoint")
+    campaign.add_argument("--report", default=None,
+                          help="also write the JSON report to this file")
+    campaign.add_argument("--json", action="store_true",
+                          help="emit the versioned JSON report on stdout")
+    campaign.set_defaults(func=cmd_campaign)
 
     lattices = sub.add_parser("lattices", help="render location lattices")
     lattices.add_argument("file")

@@ -12,7 +12,12 @@ stabilization-experiment harness that measures recovery distances.
 
 from repro.runtime.devices import DeviceBus, ScriptedDevice, SyntheticDevice
 from repro.runtime.injection import ErrorInjector
-from repro.runtime.interpreter import Interpreter, RuntimeOptions, SJavaRuntimeError
+from repro.runtime.interpreter import (
+    Interpreter,
+    RuntimeOptions,
+    SJavaRuntimeError,
+    StepBudgetExceeded,
+)
 from repro.runtime.stabilization import (
     InjectionTrial,
     StabilizationExperiment,
@@ -28,6 +33,7 @@ __all__ = [
     "SJavaRuntimeError",
     "ScriptedDevice",
     "StabilizationExperiment",
+    "StepBudgetExceeded",
     "SyntheticDevice",
     "recovery_distance",
 ]

@@ -222,12 +222,14 @@ class CompiledRunner(Interpreter):
     def _compile_event_loop(self, stmt: ast.While) -> StmtFn:
         cond = self.compile_expr(stmt.cond)
         body = self.compile_stmt(stmt.body)
+        charge = self._charge
 
         def run_loop(frame: _Frame) -> None:
             begin_device_iteration = getattr(
                 self.device, "begin_iteration", None
             )
             while self.iteration < self.options.max_iterations:
+                charge()
                 if not cond(frame):
                     break
                 if begin_device_iteration is not None:
@@ -254,10 +256,12 @@ class CompiledRunner(Interpreter):
         body = self.compile_stmt(stmt.body)
         bound = self._loop_bound(stmt.annotations)
         exceed = self._exceed_bound
+        charge = self._charge
 
         def run_while(frame: _Frame) -> None:
             count = 0
             while cond(frame):
+                charge()
                 if count >= bound:
                     exceed(stmt)
                     break
@@ -278,12 +282,14 @@ class CompiledRunner(Interpreter):
         body = self.compile_stmt(stmt.body)
         bound = self._loop_bound(stmt.annotations)
         exceed = self._exceed_bound
+        charge = self._charge
 
         def run_for(frame: _Frame) -> None:
             if init is not None:
                 init(frame)
             count = 0
             while cond is None or cond(frame):
+                charge()
                 if count >= bound:
                     exceed(stmt)
                     break

@@ -52,7 +52,10 @@ class ErrorInjector:
         if not self.target_step <= index < self.target_step + self.burst:
             return value
         corrupted = self._corrupt(value)
-        if corrupted is not value or corrupted != value:
+        # Identity is not the right test here: randint can return a value
+        # equal to the original but not interned (large ints), and such a
+        # "corruption" is unobservable — only record value inequality.
+        if corrupted != value:
             self.injected_at.append(index)
             if self.injection_iteration is None:
                 self.injection_iteration = self._current_iteration

@@ -45,6 +45,17 @@ class SJavaRuntimeError(Exception):
         super().__init__(message + where)
 
 
+class StepBudgetExceeded(Exception):
+    """The run used more execution steps than ``RuntimeOptions.step_budget``.
+
+    This is a *harness watchdog*, not program semantics: it fires in both
+    strict and crash-avoidance mode, because its job is to keep a
+    corrupted run (e.g. an injected fault that rewrites a loop bound)
+    from hanging the process that hosts it.  Fault-injection campaigns
+    record a trial that trips it as ``timeout``.
+    """
+
+
 @dataclass
 class RuntimeOptions:
     #: Crash-avoidance mode (Section 4.4).
@@ -55,6 +66,11 @@ class RuntimeOptions:
     #: mode (generated @MAXLOOP code), raised on in strict mode so runaway
     #: loops surface instead of hanging the host.
     inner_loop_bound: int = 1_000_000
+    #: Watchdog: total executed steps (memory/arithmetic operations plus
+    #: loop iterations) allowed for the whole run; ``None`` disables it.
+    #: Exceeding the budget raises :class:`StepBudgetExceeded` in *every*
+    #: mode — see that class for why.
+    step_budget: Optional[int] = None
 
 
 class _BreakSignal(Exception):
@@ -85,6 +101,8 @@ class Interpreter:
         self.sink = OutputSink()
         self.error_log: list[str] = []
         self.iteration = 0
+        #: Executed steps, charged by :meth:`_charge` (the watchdog meter).
+        self.steps = 0
         #: sink length at the end of each completed event-loop iteration
         self.iteration_marks: list[int] = []
         self._statics: dict[tuple[str, str], object] = {}
@@ -220,6 +238,7 @@ class Interpreter:
     def _exec_event_loop(self, stmt: ast.While, frame: "_Frame") -> None:
         begin_device_iteration = getattr(self.device, "begin_iteration", None)
         while self.iteration < self.options.max_iterations:
+            self._charge()
             if not self._truthy(self.eval(stmt.cond, frame)):
                 break
             if begin_device_iteration is not None:
@@ -255,6 +274,7 @@ class Interpreter:
         bound = self._loop_bound(stmt.annotations)
         count = 0
         while self._truthy(self.eval(stmt.cond, frame)):
+            self._charge()
             if count >= bound:
                 self._exceed_bound(stmt)
                 break
@@ -272,6 +292,7 @@ class Interpreter:
             self.exec_stmt(stmt.init, frame)
         count = 0
         while stmt.cond is None or self._truthy(self.eval(stmt.cond, frame)):
+            self._charge()
             if count >= bound:
                 self._exceed_bound(stmt)
                 break
@@ -577,9 +598,21 @@ class Interpreter:
         else:
             raise SJavaRuntimeError(message, node)
 
+    # -- watchdog -------------------------------------------------------------------------
+
+    def _charge(self) -> None:
+        """Meter one execution step against the optional step budget."""
+        self.steps += 1
+        budget = self.options.step_budget
+        if budget is not None and self.steps > budget:
+            raise StepBudgetExceeded(
+                f"step budget of {budget} execution steps exhausted"
+            )
+
     # -- injection ------------------------------------------------------------------------
 
     def _inject(self, value: object, node: ast.Node) -> object:
+        self._charge()
         if self.injector is None:
             return value
         return self.injector.site(value, node)

@@ -15,14 +15,18 @@ and a corrupted iteration cannot shift the framing of later ones.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.lang.symtab import ProgramInfo
 from repro.runtime.compiler import CompiledRunner
 from repro.runtime.devices import DeviceBus
 from repro.runtime.injection import ErrorInjector, StepCounter
-from repro.runtime.interpreter import Interpreter, RuntimeOptions
+from repro.runtime.interpreter import (
+    Interpreter,
+    RuntimeOptions,
+    StepBudgetExceeded,
+)
 
 DeviceFactory = Callable[[], DeviceBus]
 
@@ -42,6 +46,10 @@ class InjectionTrial:
     recovery_iterations: Optional[int]
     #: True if the run never returned to the reference behavior.
     diverged: bool = False
+    #: True if the run tripped the step-budget watchdog (a corrupted
+    #: value induced a runaway computation); campaigns record these as
+    #: ``timeout`` rather than letting them hang a worker.
+    timed_out: bool = False
     error_log_size: int = 0
 
 
@@ -55,15 +63,22 @@ def recovery_distance(
     Recovery iteration: the first iteration r >= injection such that all
     per-iteration output groups from r onward equal the reference's.
     """
-    total = min(len(reference_groups), len(faulty_groups))
-    if faulty_groups[:total] == reference_groups[:total]:
+    if faulty_groups == reference_groups:
         return None, None, False  # fault masked: no visible corruption
+    if len(faulty_groups) < len(reference_groups):
+        # The faulty run ended early (e.g. a crash cut the event loop
+        # short): the missing tail is itself a visible divergence, even
+        # when the truncated prefix matches the reference exactly.
+        return None, None, True
     recovery = None
-    # r == total is excluded: with no matching trailing output we cannot
-    # claim the program recovered, so such runs count as diverged (give
+    # Recovery requires the *entire* faulty tail from r onward to equal
+    # the reference tail — full slices, so a faulty run with extra
+    # trailing groups can never claim recovery.  r == len(reference) is
+    # excluded: with no matching trailing output we cannot claim the
+    # program recovered, so such runs count as diverged (give
     # experiments enough trailing iterations to observe recovery).
-    for r in range(injection_iteration, total):
-        if faulty_groups[r:total] == reference_groups[r:total]:
+    for r in range(injection_iteration, len(reference_groups)):
+        if faulty_groups[r:] == reference_groups[r:]:
             recovery = r
             break
     if recovery is None:
@@ -87,12 +102,24 @@ class StabilizationExperiment:
     #: identical to the interpreter (differentially tested) and 2-4x
     #: faster, which matters at paper-scale trial counts.
     engine: type = CompiledRunner
+    #: Watchdog for *injected* runs only (the reference run is never
+    #: budgeted): an absolute step cap, or a multiple of the reference
+    #: run's step count.  ``step_budget`` wins when both are set; with
+    #: neither, injected runs are unbudgeted (the historical behavior).
+    step_budget: Optional[int] = None
+    step_budget_factor: Optional[int] = None
     _reference_groups: Optional[list[list[object]]] = None
+    _reference_steps: Optional[int] = None
     _total_steps: Optional[int] = None
 
-    def _run(self, injector: Optional[object]) -> Interpreter:
+    def _run(
+        self,
+        injector: Optional[object],
+        options: Optional[RuntimeOptions] = None,
+    ) -> Interpreter:
         interpreter = self.engine(
-            self.info, self.device_factory(), options=self.options,
+            self.info, self.device_factory(),
+            options=options if options is not None else self.options,
             injector=injector,
         )
         interpreter.run()
@@ -100,8 +127,16 @@ class StabilizationExperiment:
 
     def reference_groups(self) -> list[list[object]]:
         if self._reference_groups is None:
-            self._reference_groups = self._run(None).outputs_by_iteration()
+            interpreter = self._run(None)
+            self._reference_groups = interpreter.outputs_by_iteration()
+            self._reference_steps = interpreter.steps
         return self._reference_groups
+
+    def reference_steps(self) -> int:
+        """Execution steps of the clean run (the watchdog baseline)."""
+        self.reference_groups()
+        assert self._reference_steps is not None
+        return self._reference_steps
 
     def total_steps(self) -> int:
         """Number of injectable sites in a clean run."""
@@ -111,12 +146,46 @@ class StabilizationExperiment:
             self._total_steps = counter.step
         return self._total_steps
 
+    def _trial_budget(self) -> Optional[int]:
+        if self.step_budget is not None:
+            return self.step_budget
+        if self.step_budget_factor is not None:
+            return max(1000, self.step_budget_factor * self.reference_steps())
+        return None
+
     def trial(self, seed: int, burst: int = 1) -> InjectionTrial:
         """One injected run with a uniformly chosen target site."""
         rng = random.Random(seed)
         target = rng.randrange(max(1, self.total_steps()))
-        injector = ErrorInjector(target_step=target, seed=seed + 1, burst=burst)
-        interpreter = self._run(injector)
+        return self.trial_at(target, seed=seed, burst=burst)
+
+    def trial_at(
+        self, target_step: int, seed: int, burst: int = 1
+    ) -> InjectionTrial:
+        """One injected run corrupting the given site.  This is the unit
+        campaigns sweep: exhaustive/stratified plans enumerate sites
+        explicitly instead of sampling them."""
+        injector = ErrorInjector(
+            target_step=target_step, seed=seed + 1, burst=burst
+        )
+        budget = self._trial_budget()
+        options = (
+            replace(self.options, step_budget=budget)
+            if budget is not None else self.options
+        )
+        try:
+            interpreter = self._run(injector, options)
+        except StepBudgetExceeded:
+            # The corrupted run never finished: a runaway loop or
+            # explosion of work.  Recorded as a timeout, never a hang.
+            return InjectionTrial(
+                target_step=target_step,
+                injection_iteration=injector.injection_iteration,
+                corrupted_output=True,
+                recovery_samples=None,
+                recovery_iterations=None,
+                timed_out=True,
+            )
         faulty_groups = interpreter.outputs_by_iteration()
         reference = self.reference_groups()
         injection_iteration = injector.injection_iteration
@@ -124,7 +193,7 @@ class StabilizationExperiment:
             # The injector replaced a value with an equal one or never hit
             # a corruptible site: no fault was actually introduced.
             return InjectionTrial(
-                target_step=target,
+                target_step=target_step,
                 injection_iteration=None,
                 corrupted_output=False,
                 recovery_samples=None,
@@ -135,7 +204,7 @@ class StabilizationExperiment:
             reference, faulty_groups, injection_iteration
         )
         return InjectionTrial(
-            target_step=target,
+            target_step=target_step,
             injection_iteration=injection_iteration,
             corrupted_output=samples is not None or diverged,
             recovery_samples=samples,

@@ -19,8 +19,19 @@ CLI entry points: ``repro batch``, ``repro serve``, and ``--json`` on
 """
 
 from repro.service.cache import ResultCache, checker_fingerprint, source_key
-from repro.service.client import ReproClient, ServiceError
-from repro.service.pool import BatchResult, CheckerPool
+from repro.service.client import (
+    ReproClient,
+    ServiceError,
+    StaleSocketError,
+    remove_stale_socket,
+    socket_is_live,
+)
+from repro.service.pool import (
+    BatchResult,
+    CheckerPool,
+    ResilientPool,
+    TaskFailure,
+)
 from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.service.server import ReproServer, serve
 
@@ -31,9 +42,14 @@ __all__ = [
     "ProtocolError",
     "ReproClient",
     "ReproServer",
+    "ResilientPool",
     "ResultCache",
     "ServiceError",
+    "StaleSocketError",
+    "TaskFailure",
     "checker_fingerprint",
+    "remove_stale_socket",
     "serve",
+    "socket_is_live",
     "source_key",
 ]

@@ -136,13 +136,38 @@ class ResultCache:
     def _disk_get(self, key: str) -> Optional[CheckReport]:
         if self.disk_dir is None:
             return None
+        path = self._entry_path(key)
         try:
-            raw = self._entry_path(key).read_text(encoding="utf-8")
+            raw = path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        try:
             entry = json.loads(raw)
+            if not isinstance(entry, dict):
+                raise ValueError("cache entry must be a JSON object")
             if entry.get("fingerprint") != checker_fingerprint():
+                # A different checker version wrote this (or the entry
+                # predates fingerprinting): a miss, but not garbage —
+                # leave it for whichever version owns it.
                 return None
-            return CheckReport.from_dict(entry["report"])
-        except (OSError, ValueError, KeyError, TypeError):
+            report_data = entry["report"]
+            # CheckReport.from_dict is lenient (missing keys default to
+            # empty), so a wrong-shaped report would deserialize as a
+            # falsely *clean* verdict — require the real shape first.
+            if not isinstance(report_data, dict) or not (
+                {"diagnostics", "checked_scope"} <= report_data.keys()
+            ):
+                raise ValueError("malformed cache entry report")
+            return CheckReport.from_dict(report_data)
+        except (ValueError, KeyError, TypeError, AttributeError):
+            # Truncated/zero-byte/malformed JSON, or a structurally
+            # broken report: treat as a miss and quarantine the file so
+            # the slot heals on the next store instead of failing every
+            # lookup.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
             return None
 
     def _disk_put(self, key: str, report: CheckReport) -> None:

@@ -8,11 +8,18 @@ connection and may issue many requests; use it as a context manager::
         response = client.check(source=text)
         assert response["self_stabilizing"]
         client.shutdown()
+
+Connecting is hardened for real deployments: ``connect_retries``
+retries with capped exponential backoff cover the daemon-still-starting
+window, and a socket file whose daemon is gone (killed without cleanup)
+is diagnosed as *stale* rather than surfacing a bare
+``ConnectionRefusedError`` — :func:`remove_stale_socket` cleans one up.
 """
 
 from __future__ import annotations
 
 import socket
+import time
 from pathlib import Path
 from typing import Optional
 
@@ -23,23 +30,90 @@ class ServiceError(RuntimeError):
     """The daemon answered ``ok: false`` (or not at all)."""
 
 
+class StaleSocketError(ServiceError):
+    """The socket file exists but no daemon is listening behind it."""
+
+
+def socket_is_live(socket_path: str | Path) -> bool:
+    """True when something accepts connections on ``socket_path``."""
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(str(socket_path))
+        return True
+    except OSError:
+        return False
+    finally:
+        probe.close()
+
+
+def remove_stale_socket(socket_path: str | Path) -> bool:
+    """Delete a socket file left behind by a killed daemon.
+
+    Returns True when a stale file was removed; a missing file or a
+    live daemon leaves the filesystem untouched and returns False.
+    """
+    path = Path(socket_path)
+    if not path.exists() or socket_is_live(path):
+        return False
+    path.unlink(missing_ok=True)
+    return True
+
+
 class ReproClient:
-    def __init__(self, socket_path: str | Path, timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        socket_path: str | Path,
+        timeout: float = 30.0,
+        *,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+    ) -> None:
         self.socket_path = str(socket_path)
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self.backoff_cap = backoff_cap
         self._sock: Optional[socket.socket] = None
         self._reader = None
 
     # -- connection ------------------------------------------------------
 
     def connect(self) -> "ReproClient":
-        if self._sock is None:
+        if self._sock is not None:
+            return self
+        delay = self.connect_backoff
+        last_error: Optional[OSError] = None
+        for attempt in range(self.connect_retries + 1):
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             sock.settimeout(self.timeout)
-            sock.connect(self.socket_path)
+            try:
+                sock.connect(self.socket_path)
+            except OSError as exc:
+                sock.close()
+                last_error = exc
+                if attempt < self.connect_retries:
+                    time.sleep(delay)
+                    delay = min(delay * 2, self.backoff_cap)
+                continue
             self._sock = sock
             self._reader = sock.makefile("rb")
-        return self
+            return self
+        assert last_error is not None
+        if (
+            isinstance(last_error, ConnectionRefusedError)
+            and Path(self.socket_path).exists()
+        ):
+            raise StaleSocketError(
+                f"stale socket {self.socket_path}: the file exists but no "
+                f"daemon answers (a previous daemon was probably killed); "
+                f"remove_stale_socket() cleans it up"
+            ) from last_error
+        raise ServiceError(
+            f"cannot connect to daemon at {self.socket_path} "
+            f"after {self.connect_retries + 1} attempt(s): {last_error}"
+        ) from last_error
 
     def close(self) -> None:
         if self._reader is not None:

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import concurrent.futures
 import time
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.core.checker import CheckReport, SJavaChecker
 from repro.lang import parse_program, resolve_program, typecheck_program
@@ -93,6 +94,137 @@ def _check_path_worker(path: str) -> dict:
     except OSError as exc:
         return protocol.error_payload(str(exc), file=path, error="io")
     return check_source_payload(source, file=path)
+
+
+@dataclass
+class TaskFailure:
+    """A task the :class:`ResilientPool` gave up on.
+
+    ``reason`` is ``timeout`` (wall clock exceeded), ``worker-crash``
+    (the process pool broke underneath the task) or ``error`` (the task
+    function raised); ``attempts`` counts how many times it ran.
+    """
+
+    reason: str
+    message: str
+    attempts: int
+
+
+@dataclass
+class ResilientPool:
+    """Generic process fan-out that survives the faults it provokes.
+
+    Runs a picklable module-level function over a sequence of payloads
+    with a per-task wall-clock timeout.  A worker crash
+    (:class:`BrokenProcessPool` — e.g. a SIGKILLed worker) rebuilds the
+    pool and retries the in-flight task with capped exponential backoff;
+    tasks that keep failing are reported as :class:`TaskFailure`, never
+    silently dropped.  Fault-injection campaigns fan their shards out
+    through this.
+
+    ``max_workers <= 1`` degrades to plain in-process execution (no
+    subprocesses, no timeout enforcement), the mode used by tests.
+    """
+
+    max_workers: int = 1
+    task_timeout: Optional[float] = None
+    max_retries: int = 2
+    backoff_base: float = 0.25
+    backoff_cap: float = 4.0
+    #: Injection point for tests; production code sleeps for real.
+    sleep: Callable[[float], None] = time.sleep
+
+    def run(
+        self, fn: Callable[[dict], dict], payloads: Sequence[dict]
+    ) -> Iterator[tuple[int, dict | TaskFailure]]:
+        """Yield ``(payload_index, result_or_failure)`` as tasks finish.
+
+        Results stream out as soon as each task settles, so callers can
+        checkpoint incrementally; every payload yields exactly once.
+        """
+        if self.max_workers <= 1:
+            yield from self._run_inline(fn, payloads)
+            return
+        attempts = {index: 0 for index in range(len(payloads))}
+        pending = list(range(len(payloads)))
+        round_number = 0
+        while pending:
+            if round_number:
+                self.sleep(self._backoff(round_number))
+            round_number += 1
+            batch, pending = pending, []
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers
+            )
+            broken = False
+            try:
+                futures = [
+                    (index, executor.submit(fn, payloads[index]))
+                    for index in batch
+                ]
+                for index, future in futures:
+                    if broken:
+                        # The pool died under an earlier task; these
+                        # never ran, so requeue without charging a retry.
+                        pending.append(index)
+                        continue
+                    try:
+                        yield index, future.result(timeout=self.task_timeout)
+                    except concurrent.futures.TimeoutError:
+                        future.cancel()
+                        outcome = self._register_failure(
+                            attempts, index, pending, "timeout",
+                            f"task exceeded {self.task_timeout:.1f}s",
+                        )
+                        if outcome is not None:
+                            yield index, outcome
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        outcome = self._register_failure(
+                            attempts, index, pending, "worker-crash",
+                            str(exc) or "worker process died",
+                        )
+                        if outcome is not None:
+                            yield index, outcome
+                    except Exception as exc:
+                        outcome = self._register_failure(
+                            attempts, index, pending, "error", str(exc)
+                        )
+                        if outcome is not None:
+                            yield index, outcome
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+
+    def _run_inline(
+        self, fn: Callable[[dict], dict], payloads: Sequence[dict]
+    ) -> Iterator[tuple[int, dict | TaskFailure]]:
+        for index, payload in enumerate(payloads):
+            try:
+                yield index, fn(payload)
+            except Exception as exc:
+                yield index, TaskFailure(
+                    reason="error", message=str(exc), attempts=1
+                )
+
+    def _register_failure(
+        self,
+        attempts: dict[int, int],
+        index: int,
+        pending: list[int],
+        reason: str,
+        message: str,
+    ) -> Optional[TaskFailure]:
+        """Requeue the task, or give up and return its failure record."""
+        attempts[index] += 1
+        if attempts[index] <= self.max_retries:
+            pending.append(index)
+            return None
+        return TaskFailure(
+            reason=reason, message=message, attempts=attempts[index]
+        )
+
+    def _backoff(self, round_number: int) -> float:
+        return min(self.backoff_cap, self.backoff_base * 2 ** (round_number - 1))
 
 
 @dataclass

@@ -11,7 +11,10 @@ Payload kinds:
 * ``check`` — verdict of one :class:`~repro.core.checker.CheckReport`
   (:func:`check_payload` / :func:`report_from_payload`);
 * ``infer`` — an inference run summary (:func:`infer_payload`);
-* ``error`` — a front-end or service failure (:func:`error_payload`).
+* ``error`` — a front-end or service failure (:func:`error_payload`);
+* ``campaign`` — the aggregate report of a fault-injection campaign
+  (:func:`campaign_payload`; schema in ``docs/ROBUSTNESS.md``,
+  enforced by :func:`validate_campaign_payload`).
 
 Serialization is newline-delimited: :func:`dumps` produces exactly one
 line (no interior newlines), which is what the daemon speaks over its
@@ -102,6 +105,13 @@ def infer_payload(
     return payload
 
 
+def campaign_payload(summary: dict) -> dict:
+    """Wrap a campaign report (``CampaignReport.to_dict``) in the
+    versioned envelope.  The summary stays a plain dict so this module
+    never imports the runtime layer."""
+    return {"version": PROTOCOL_VERSION, "kind": "campaign", **summary}
+
+
 def error_payload(
     message: str, *, file: Optional[str] = None, error: str = "front-end"
 ) -> dict:
@@ -189,3 +199,73 @@ def validate_check_payload(payload: dict) -> None:
             and all(isinstance(p, str) for p in pair),
             "checked_scope entries must be [class, method] string pairs",
         )
+
+
+_CAMPAIGN_MODES = ("exhaustive", "stratified", "uniform")
+_CAMPAIGN_APP_COUNTS = (
+    "sites_total", "trials", "injected", "masked", "recovered",
+    "diverged", "timeout", "not_injected",
+)
+_CAMPAIGN_APP_RATES = ("mask_rate", "divergence_rate", "timeout_rate")
+
+
+def validate_campaign_app(entry: dict) -> None:
+    _require(isinstance(entry, dict), "campaign app entry must be an object")
+    _require(isinstance(entry.get("app"), str), "campaign app needs a name")
+    for field in _CAMPAIGN_APP_COUNTS:
+        _require(
+            isinstance(entry.get(field), int) and entry[field] >= 0,
+            f"campaign app {field} must be a non-negative int",
+        )
+    _require(
+        entry["injected"] + entry["not_injected"] == entry["trials"],
+        "injected + not_injected must equal trials",
+    )
+    _require(
+        entry["masked"] + entry["recovered"] + entry["diverged"]
+        + entry["timeout"] == entry["injected"],
+        "per-verdict counts must sum to injected",
+    )
+    for field in _CAMPAIGN_APP_RATES:
+        value = entry.get(field)
+        _require(
+            isinstance(value, (int, float)) and 0.0 <= value <= 1.0,
+            f"campaign app {field} must be a rate in [0, 1]",
+        )
+    histogram = entry.get("recovery_histogram")
+    _require(isinstance(histogram, dict), "recovery_histogram must be an object")
+    for bucket, count in histogram.items():
+        _require(
+            isinstance(bucket, str) and isinstance(count, int) and count >= 0,
+            "recovery_histogram maps bucket strings to counts",
+        )
+    for field in ("recovery_iterations_p50", "recovery_iterations_p95"):
+        value = entry.get(field)
+        _require(
+            value is None or isinstance(value, int),
+            f"{field} must be an int or null",
+        )
+
+
+def validate_campaign_payload(payload: dict) -> None:
+    """Raise :class:`ProtocolError` unless ``payload`` is a well-formed
+    ``campaign`` envelope (the schema in ``docs/ROBUSTNESS.md``)."""
+    validate_version(payload)
+    _require(payload.get("kind") == "campaign",
+             f"expected kind 'campaign', got {payload.get('kind')!r}")
+    _require(payload.get("mode") in _CAMPAIGN_MODES,
+             f"bad campaign mode {payload.get('mode')!r}")
+    _require(isinstance(payload.get("seed"), int), "campaign needs an int seed")
+    _require(isinstance(payload.get("complete"), bool),
+             "campaign needs a complete flag")
+    shards = payload.get("shards")
+    _require(isinstance(shards, dict), "campaign needs a shards object")
+    for field in ("planned", "completed", "infra_failed"):
+        _require(
+            isinstance(shards.get(field), int) and shards[field] >= 0,
+            f"shards.{field} must be a non-negative int",
+        )
+    apps = payload.get("apps")
+    _require(isinstance(apps, list) and apps, "campaign needs app entries")
+    for entry in apps:
+        validate_campaign_app(entry)

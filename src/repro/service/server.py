@@ -72,9 +72,18 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         *,
         cache: Optional[ResultCache] = None,
     ) -> None:
+        from repro.service.client import remove_stale_socket, socket_is_live
+
         self.socket_path = str(socket_path)
         Path(self.socket_path).parent.mkdir(parents=True, exist_ok=True)
-        Path(self.socket_path).unlink(missing_ok=True)
+        if Path(self.socket_path).exists():
+            # Reclaim a socket a killed daemon left behind, but never
+            # steal one a live daemon is still answering on.
+            if socket_is_live(self.socket_path):
+                raise OSError(
+                    f"socket {self.socket_path} is in use by a running daemon"
+                )
+            remove_stale_socket(self.socket_path)
         super().__init__(self.socket_path, _Handler)
         self.pool = CheckerPool(max_workers=1, cache=cache)
         self.started_at = time.time()

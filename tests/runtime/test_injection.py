@@ -94,6 +94,35 @@ class TestInjector:
         marker = object()
         assert injector.site(marker, FakeNode()) is marker
 
+    def test_equal_but_not_identical_corruption_is_not_recorded(self):
+        """Regression: the injector used to test ``corrupted is not
+        value``, so drawing a replacement equal to the original but not
+        interned (any large int) was miscounted as an injection — the
+        trial then reported a phantom fault that no output could ever
+        reflect."""
+        injector = ErrorInjector(target_step=0, seed=2,
+                                 int_range=(100_000, 100_000))
+
+        class FakeNode:
+            uid = 0
+
+        # the drawn replacement equals the original: no observable fault
+        assert injector.site(100_000, FakeNode()) == 100_000
+        assert injector.injected_at == []
+        assert injector.injection_iteration is None
+        assert not injector.fired
+
+    def test_unequal_corruption_is_recorded(self):
+        injector = ErrorInjector(target_step=0, seed=2,
+                                 int_range=(100_000, 100_000))
+
+        class FakeNode:
+            uid = 0
+
+        assert injector.site(7, FakeNode()) == 100_000
+        assert injector.injected_at == [0]
+        assert injector.fired
+
 
 class TestRecoveryDistance:
     def test_identical_outputs_mean_masked(self):
@@ -116,6 +145,22 @@ class TestRecoveryDistance:
     def test_divergence_detected(self):
         ref = [[1], [2], [3]]
         bad = [[1], [9], [9]]
+        samples, iters, diverged = recovery_distance(ref, bad, 1)
+        assert diverged
+
+    def test_truncated_faulty_run_is_divergence_not_masking(self):
+        """Regression: a faulty run cut short (a crash ended the event
+        loop early) used to compare equal on the surviving prefix and be
+        reported as *masked* — the strongest possible verdict for what is
+        actually a lost tail of output."""
+        ref = [[1], [2], [3]]
+        bad = [[1], [2]]
+        samples, iters, diverged = recovery_distance(ref, bad, 1)
+        assert (samples, iters, diverged) == (None, None, True)
+
+    def test_extra_trailing_groups_cannot_claim_recovery(self):
+        ref = [[1], [2], [3]]
+        bad = [[1], [9], [3], [4]]
         samples, iters, diverged = recovery_distance(ref, bad, 1)
         assert diverged
 

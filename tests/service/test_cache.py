@@ -87,6 +87,71 @@ class TestDiskTier:
         assert len(hit.errors) == len(report.errors)
 
 
+class TestDiskCorruptionTolerance:
+    """A half-written or hostile cache directory must only ever cost
+    misses — never a crash, never a wrong verdict."""
+
+    def _entry(self, tmp_path, source):
+        ResultCache(disk_dir=tmp_path).put(source, check_program(source))
+        return next(tmp_path.glob("*.json"))
+
+    def test_truncated_entry_is_a_miss_and_quarantined(
+        self, tmp_path, wind_source
+    ):
+        entry = self._entry(tmp_path, wind_source)
+        entry.write_text(entry.read_text()[: len(entry.read_text()) // 2])
+        cache = ResultCache(disk_dir=tmp_path)
+        assert cache.get(wind_source) is None
+        assert not entry.exists(), "corrupt entry should be quarantined"
+
+    def test_zero_byte_entry_is_a_miss_and_quarantined(
+        self, tmp_path, wind_source
+    ):
+        entry = self._entry(tmp_path, wind_source)
+        entry.write_text("")
+        assert ResultCache(disk_dir=tmp_path).get(wind_source) is None
+        assert not entry.exists()
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path, wind_source):
+        entry = self._entry(tmp_path, wind_source)
+        entry.write_text('["a", "list", "not", "an", "object"]')
+        assert ResultCache(disk_dir=tmp_path).get(wind_source) is None
+        assert not entry.exists()
+
+    def test_structurally_broken_report_is_a_miss(
+        self, tmp_path, wind_source
+    ):
+        # the report shape must be validated: CheckReport.from_dict is
+        # lenient, and absorbing this entry would yield a falsely CLEAN
+        # verdict for a program that was never checked
+        entry = self._entry(tmp_path, wind_source)
+        body = json.loads(entry.read_text())
+        body["report"] = {"unexpected": True}
+        entry.write_text(json.dumps(body))
+        assert ResultCache(disk_dir=tmp_path).get(wind_source) is None
+        assert not entry.exists()
+
+    def test_other_version_entry_is_preserved(self, tmp_path, wind_source):
+        # Another checker version's entry is a miss but NOT garbage:
+        # quarantining it would thrash a cache dir shared across versions.
+        entry = self._entry(tmp_path, wind_source)
+        body = json.loads(entry.read_text())
+        body["fingerprint"] = "repro-9.9.9/proto-9.9/schema-9"
+        entry.write_text(json.dumps(body))
+        assert ResultCache(disk_dir=tmp_path).get(wind_source) is None
+        assert entry.exists()
+
+    def test_corrupted_slot_heals_on_next_store(self, tmp_path, wind_source):
+        entry = self._entry(tmp_path, wind_source)
+        entry.write_text("{truncated")
+        cache = ResultCache(disk_dir=tmp_path)
+        assert cache.get(wind_source) is None
+        cache.put(wind_source, check_program(wind_source))
+        fresh = ResultCache(disk_dir=tmp_path)
+        hit = fresh.get(wind_source)
+        assert hit is not None and hit.self_stabilizing
+
+
 class TestWarmRunSpeedup:
     def test_warm_disk_cache_is_5x_faster(self, tmp_path, app_files):
         """Acceptance criterion: a second batch run over the six bundled

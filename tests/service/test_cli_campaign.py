@@ -1,0 +1,59 @@
+"""CLI surface of fault-injection campaigns: ``repro campaign``."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.service import protocol
+
+ARGS = [
+    "campaign", "--apps", "wind_sensor", "--trials", "8", "--strata", "4",
+    "--iterations", "12", "--seed", "7", "--shard-size", "2",
+]
+
+
+class TestCampaignCli:
+    def test_json_output_validates(self, capsys):
+        assert main(ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        protocol.validate_campaign_payload(payload)
+        assert payload["complete"] is True
+
+    def test_human_output_summarizes_each_app(self, capsys):
+        assert main(ARGS) == 0
+        out = capsys.readouterr().out
+        assert "wind_sensor" in out
+        assert "shards" in out
+
+    def test_report_file_written(self, tmp_path, capsys):
+        report_path = tmp_path / "campaign.json"
+        assert main(ARGS + ["--report", str(report_path)]) == 0
+        capsys.readouterr()
+        payload = protocol.loads(report_path.read_text())
+        protocol.validate_campaign_payload(payload)
+
+    def test_checkpointed_run_resumes_via_cli(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.json"
+        run_args = ARGS + ["--checkpoint", str(checkpoint), "--json"]
+        assert main(run_args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert checkpoint.exists()
+        # second invocation resumes a finished checkpoint: no re-run,
+        # identical aggregate statistics
+        assert main(run_args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["apps"] == first["apps"]
+
+    def test_mismatched_checkpoint_is_a_usage_error(self, tmp_path, capsys):
+        checkpoint = tmp_path / "ck.json"
+        assert main(ARGS + ["--checkpoint", str(checkpoint)]) == 0
+        capsys.readouterr()
+        other = ARGS + ["--seed", "8", "--checkpoint", str(checkpoint)]
+        assert main(other) == 2
+        assert "--fresh" in capsys.readouterr().err
+        assert main(other + ["--fresh"]) == 0
+
+    def test_unknown_app_is_a_usage_error(self, capsys):
+        assert main(["campaign", "--apps", "toaster"]) == 2
+        assert "toaster" in capsys.readouterr().err

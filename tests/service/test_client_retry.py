@@ -1,0 +1,134 @@
+"""Client connect hardening: retry/backoff, stale-socket diagnosis and
+cleanup, daemons appearing mid-retry (satellite of the robustness PR)."""
+
+from __future__ import annotations
+
+import socket
+from pathlib import Path
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.client import (
+    ReproClient,
+    ServiceError,
+    StaleSocketError,
+    remove_stale_socket,
+    socket_is_live,
+)
+from repro.service.server import ReproServer
+
+
+@pytest.fixture
+def stale_socket(tmp_path):
+    """A socket file whose daemon is gone: bind, then close without
+    unlinking — exactly what a SIGKILLed daemon leaves behind."""
+    path = tmp_path / "stale.sock"
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.bind(str(path))
+    sock.close()
+    assert path.exists()
+    return path
+
+
+def start_server(path):
+    server = ReproServer(path, cache=ResultCache())
+    thread = server.start()
+    return server, thread
+
+
+class TestSocketProbes:
+    def test_missing_socket_is_not_live(self, tmp_path):
+        assert not socket_is_live(tmp_path / "nope.sock")
+
+    def test_stale_socket_is_not_live(self, stale_socket):
+        assert not socket_is_live(stale_socket)
+
+    def test_remove_stale_socket(self, stale_socket):
+        assert remove_stale_socket(stale_socket) is True
+        assert not stale_socket.exists()
+        assert remove_stale_socket(stale_socket) is False  # already gone
+
+    def test_live_daemon_socket_is_never_removed(self, tmp_path):
+        server, thread = start_server(tmp_path / "live.sock")
+        try:
+            assert socket_is_live(server.socket_path)
+            assert remove_stale_socket(server.socket_path) is False
+            assert Path(server.socket_path).exists()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.close()
+
+
+class TestConnectRetry:
+    def test_missing_socket_exhausts_retries(self, tmp_path, monkeypatch):
+        delays: list[float] = []
+        monkeypatch.setattr("repro.service.client.time.sleep", delays.append)
+        client = ReproClient(tmp_path / "absent.sock", connect_retries=3)
+        with pytest.raises(ServiceError, match="4 attempt"):
+            client.connect()
+        assert len(delays) == 3  # slept between attempts, not after the last
+
+    def test_backoff_doubles_up_to_the_cap(self, tmp_path, monkeypatch):
+        delays: list[float] = []
+        monkeypatch.setattr("repro.service.client.time.sleep", delays.append)
+        client = ReproClient(
+            tmp_path / "absent.sock", connect_retries=4,
+            connect_backoff=0.05, backoff_cap=0.1,
+        )
+        with pytest.raises(ServiceError):
+            client.connect()
+        assert delays == [0.05, 0.1, 0.1, 0.1]
+
+    def test_stale_socket_is_diagnosed_as_stale(self, stale_socket):
+        client = ReproClient(stale_socket)
+        with pytest.raises(StaleSocketError, match="stale socket"):
+            client.connect()
+
+    def test_daemon_starting_mid_retry_is_reached(self, tmp_path,
+                                                  monkeypatch):
+        """The daemon-still-starting window: the first attempts refuse,
+        then the daemon comes up and a later retry lands."""
+        path = tmp_path / "late.sock"
+        started: list = []
+
+        def sleep_then_start(_delay: float) -> None:
+            if not started:
+                started.append(start_server(path))
+
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", sleep_then_start
+        )
+        client = ReproClient(path, connect_retries=5)
+        try:
+            client.connect()
+            assert client.status()["ok"]
+        finally:
+            client.close()
+            server, thread = started[0]
+            server.shutdown()
+            thread.join(timeout=5)
+            server.close()
+
+
+class TestServerStaleSocketHandling:
+    def test_server_reclaims_a_stale_socket(self, stale_socket):
+        server, thread = start_server(stale_socket)
+        try:
+            with ReproClient(stale_socket) as client:
+                assert client.status()["ok"]
+        finally:
+            server.shutdown()
+            thread.join(timeout=5)
+            server.close()
+
+    def test_server_refuses_a_live_socket(self, tmp_path):
+        first, thread = start_server(tmp_path / "one.sock")
+        try:
+            with pytest.raises(OSError, match="in use"):
+                ReproServer(first.socket_path, cache=ResultCache())
+        finally:
+            first.shutdown()
+            thread.join(timeout=5)
+            first.close()

@@ -120,6 +120,57 @@ class TestEnvelopes:
         with pytest.raises(ProtocolError):
             protocol.validate_check_payload(payload)
 
+    def test_campaign_payload_tampering_rejected(self):
+        base = {
+            "schema": 1,
+            "mode": "stratified",
+            "seed": 7,
+            "burst": 1,
+            "complete": True,
+            "shards": {"planned": 2, "completed": 2, "infra_failed": 0},
+            "infra_failures": [],
+            "apps": [{
+                "app": "wind_sensor",
+                "sites_total": 120,
+                "trials": 8,
+                "injected": 8,
+                "not_injected": 0,
+                "masked": 3,
+                "recovered": 5,
+                "diverged": 0,
+                "timeout": 0,
+                "mask_rate": 0.375,
+                "divergence_rate": 0.0,
+                "timeout_rate": 0.0,
+                "recovery_histogram": {"0": 5},
+                "recovery_iterations_p50": 1,
+                "recovery_iterations_p95": 3,
+            }],
+        }
+        payload = protocol.campaign_payload(base)
+        assert payload["kind"] == "campaign"
+        protocol.validate_campaign_payload(payload)  # must not raise
+
+        import copy
+
+        def broken(mutate):
+            clone = copy.deepcopy(payload)
+            mutate(clone)
+            with pytest.raises(ProtocolError):
+                protocol.validate_campaign_payload(clone)
+
+        broken(lambda p: p.update(mode="chaotic"))
+        broken(lambda p: p.update(complete="yes"))
+        broken(lambda p: p["shards"].update(planned=-1))
+        broken(lambda p: p.update(apps=[]))
+        # verdict counts must sum to injected
+        broken(lambda p: p["apps"][0].update(masked=4))
+        # injected + not_injected must equal trials
+        broken(lambda p: p["apps"][0].update(not_injected=1))
+        broken(lambda p: p["apps"][0].update(mask_rate=1.5))
+        broken(lambda p: p["apps"][0].update(recovery_histogram={"0": -1}))
+        broken(lambda p: p["apps"][0].update(recovery_iterations_p95="3"))
+
     def test_infer_summary_round_trips(self, wind_source):
         from repro.infer.metrics import MetricsSummary
         from repro.lang import parse_program, resolve_program, typecheck_program

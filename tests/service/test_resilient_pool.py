@@ -1,0 +1,144 @@
+"""ResilientPool: the fan-out layer must survive worker crashes,
+enforce wall-clock timeouts, and never silently drop a task."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+
+from repro.service.pool import ResilientPool, TaskFailure
+
+
+# Workers must be module-level (picklable by qualified name).
+
+def _double(payload: dict) -> dict:
+    return {"value": payload["value"] * 2}
+
+
+def _sleepy(payload: dict) -> dict:
+    time.sleep(payload["seconds"])
+    return {"slept": True}
+
+
+def _raise(payload: dict) -> dict:
+    raise ValueError(payload["message"])
+
+
+def _crash_once(payload: dict) -> dict:
+    """SIGKILL the worker on first sight of the marker-less payload;
+    succeed on the retry (the marker file survives the crash)."""
+    marker = Path(payload["marker"])
+    if not marker.exists():
+        marker.write_text("crashed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"value": payload["value"], "recovered": True}
+
+
+def _crash_always(payload: dict) -> dict:
+    os.kill(os.getpid(), signal.SIGKILL)
+    return {}  # pragma: no cover
+
+
+def collect(pool: ResilientPool, fn, payloads) -> dict:
+    return dict(pool.run(fn, payloads))
+
+
+class TestInlineMode:
+    def test_results_in_order(self):
+        pool = ResilientPool(max_workers=1)
+        results = list(pool.run(_double, [{"value": v} for v in range(4)]))
+        assert results == [(i, {"value": i * 2}) for i in range(4)]
+
+    def test_exception_becomes_failure_record(self):
+        pool = ResilientPool(max_workers=1)
+        outcomes = collect(pool, _raise, [{"message": "boom"}])
+        failure = outcomes[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.reason == "error"
+        assert "boom" in failure.message
+
+
+class TestParallelHappyPath:
+    def test_every_payload_yields_exactly_once(self):
+        pool = ResilientPool(max_workers=2)
+        payloads = [{"value": v} for v in range(6)]
+        outcomes = collect(pool, _double, payloads)
+        assert sorted(outcomes) == list(range(6))
+        for index, result in outcomes.items():
+            assert result == {"value": index * 2}
+
+
+class TestWorkerCrash:
+    def test_pool_rebuilds_after_sigkilled_worker(self, tmp_path):
+        """Acceptance path: a SIGKILLed worker breaks the process pool;
+        the pool is rebuilt and the shard retried, and every other task
+        still completes."""
+        sleeps: list[float] = []
+        pool = ResilientPool(max_workers=2, max_retries=2,
+                             sleep=sleeps.append)
+        payloads = [{"value": 0, "marker": str(tmp_path / "m0")}]
+        payloads += [{"value": v} for v in (1, 2, 3)]
+        outcomes = collect(pool, _crash_once_or_double, payloads)
+        assert outcomes[0] == {"value": 0, "recovered": True}
+        for index in (1, 2, 3):
+            assert outcomes[index] == {"value": index * 2}
+        assert sleeps, "a rebuild round should have backed off first"
+
+    def test_persistent_crasher_is_reported_not_dropped(self, tmp_path):
+        sleeps: list[float] = []
+        pool = ResilientPool(max_workers=2, max_retries=1,
+                             sleep=sleeps.append)
+        payloads = [{"crash": True}] + [{"value": v} for v in (1, 2)]
+        outcomes = collect(pool, _crash_always_or_double, payloads)
+        failure = outcomes[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.reason == "worker-crash"
+        assert failure.attempts == 2  # initial try + one retry
+        # the bystander tasks were requeued, not charged, and completed
+        assert outcomes[1] == {"value": 2}
+        assert outcomes[2] == {"value": 4}
+
+
+def _crash_once_or_double(payload: dict) -> dict:
+    if "marker" in payload:
+        return _crash_once(payload)
+    return _double(payload)
+
+
+def _crash_always_or_double(payload: dict) -> dict:
+    if payload.get("crash"):
+        return _crash_always(payload)
+    return _double(payload)
+
+
+class TestTimeout:
+    def test_slow_task_fails_with_timeout(self):
+        sleeps: list[float] = []
+        pool = ResilientPool(max_workers=2, task_timeout=0.2,
+                             max_retries=0, sleep=sleeps.append)
+        # the abandoned worker finishes its nap in the background; keep
+        # it short so interpreter exit (which joins workers) stays fast
+        outcomes = collect(
+            pool, _sleepy_or_double,
+            [{"seconds": 3.0}, {"value": 1}],
+        )
+        failure = outcomes[0]
+        assert isinstance(failure, TaskFailure)
+        assert failure.reason == "timeout"
+        assert outcomes[1] == {"value": 2}
+
+
+def _sleepy_or_double(payload: dict) -> dict:
+    if "seconds" in payload:
+        return _sleepy(payload)
+    return _double(payload)
+
+
+class TestBackoff:
+    def test_backoff_is_exponential_and_capped(self):
+        pool = ResilientPool(backoff_base=0.25, backoff_cap=1.0)
+        assert [pool._backoff(r) for r in (1, 2, 3, 4, 5)] == [
+            0.25, 0.5, 1.0, 1.0, 1.0
+        ]
