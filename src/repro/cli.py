@@ -17,7 +17,13 @@ Subcommands mirror the workflow of the paper's tool:
 * ``repro batch DIR...``    — check many files via the cached, parallel
   service (per-file verdicts + timings);
 * ``repro serve``           — long-lived checking daemon on a Unix
-  socket, speaking newline-delimited JSON.
+  socket, speaking newline-delimited JSON;
+* ``repro metrics``         — render an observability snapshot from a
+  JSONL trace file or a running daemon.
+
+``check``/``infer``/``batch``/``campaign`` accept ``--trace FILE`` (write
+a JSON-lines trace of every span) and ``--profile`` (print the span tree
+with per-phase percentages to stderr); see ``docs/OBSERVABILITY.md``.
 
 The batch/daemon/JSON workflow is documented in ``docs/SERVICE.md``.
 Installed as ``repro`` (console script) or usable as
@@ -27,6 +33,8 @@ Installed as ``repro`` (console script) or usable as
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import os
 import sys
 import time
@@ -42,6 +50,17 @@ from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError
 from repro.lang.symtab import ProgramInfo, ResolveError
 from repro.lang.typecheck import JavaTypeError
+from repro.obs import (
+    JsonlTraceWriter,
+    RingBufferSink,
+    TraceError,
+    Tracer,
+    aggregate_trace,
+    format_tree,
+    get_tracer,
+    installed_tracer,
+    validate_trace,
+)
 from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
 from repro.runtime.devices import SyntheticDevice
 from repro.runtime.stabilization import recovery_histogram
@@ -52,36 +71,83 @@ from repro.service.pool import CheckerPool, timed_check
 
 def _load(path: str) -> ProgramInfo:
     source = Path(path).read_text(encoding="utf-8")
-    program = parse_program(source)
-    info = resolve_program(program)
-    typecheck_program(info)
+    tracer = get_tracer()
+    with tracer.span("parse"):
+        program = parse_program(source)
+    with tracer.span("resolve"):
+        info = resolve_program(program)
+    with tracer.span("typecheck"):
+        typecheck_program(info)
     return info
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write a JSON-lines span trace to FILE")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the span tree with per-phase "
+                             "percentages to stderr")
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace, root_name: str, **attrs):
+    """Run a command under a tracer when ``--trace``/``--profile`` ask
+    for one; otherwise leave the no-op tracer installed."""
+    if not (getattr(args, "trace", None) or getattr(args, "profile", False)):
+        with get_tracer().span(root_name, **attrs):
+            yield
+        return
+    ring = RingBufferSink() if args.profile else None
+    writer = JsonlTraceWriter(args.trace) if args.trace else None
+    sinks = tuple(s for s in (ring, writer) if s is not None)
+    try:
+        with installed_tracer(Tracer(sinks=sinks)) as tracer:
+            with tracer.span(root_name, **attrs):
+                yield
+    finally:
+        if writer is not None:
+            writer.close()
+        if ring is not None:
+            for root in ring.roots:
+                print(format_tree(root), file=sys.stderr)
+        if args.trace:
+            print(f"// trace written to {args.trace}", file=sys.stderr)
+
+
 def cmd_check(args: argparse.Namespace) -> int:
-    if args.json:
-        source = Path(args.file).read_text(encoding="utf-8")
-        start = time.perf_counter()
-        report, timings = timed_check(source)
-        payload = protocol.check_payload(
-            report,
-            file=args.file,
-            elapsed_seconds=time.perf_counter() - start,
-            timings=timings,
-        )
-        print(protocol.dumps(payload))
+    with _observed(args, "repro.check", file=args.file):
+        if args.json:
+            source = Path(args.file).read_text(encoding="utf-8")
+            start = time.perf_counter()
+            report, timings = timed_check(source)
+            payload = protocol.check_payload(
+                report,
+                file=args.file,
+                elapsed_seconds=time.perf_counter() - start,
+                timings=timings,
+            )
+            print(protocol.dumps(payload))
+            return 0 if report.self_stabilizing else 1
+        info = _load(args.file)
+        report = SJavaChecker(info).run()
+        print(report.format())
         return 0 if report.self_stabilizing else 1
-    info = _load(args.file)
-    report = SJavaChecker(info).run()
-    print(report.format())
-    return 0 if report.self_stabilizing else 1
 
 
 def cmd_infer(args: argparse.Namespace) -> int:
-    info = _load(args.file)
-    result = infer_annotations(info, mode=args.mode, verify=not args.no_verify)
+    with _observed(args, "repro.infer", file=args.file, mode=args.mode):
+        info = _load(args.file)
+        result = infer_annotations(
+            info, mode=args.mode, verify=not args.no_verify
+        )
     if args.json:
-        payload = protocol.infer_payload(result.summary_dict(), file=args.file)
+        payload = protocol.infer_payload(
+            result.summary_dict(),
+            file=args.file,
+            timings={
+                **result.phase_seconds, "total": result.elapsed_seconds
+            },
+        )
         print(protocol.dumps(payload))
         return 0 if result.check_report is None or result.verified else 1
     if not args.quiet:
@@ -165,6 +231,20 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         tuple(APP_NAMES) if args.apps == "all"
         else tuple(name.strip() for name in args.apps.split(",") if name.strip())
     )
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(
+            _observed(args, "repro.campaign", mode=args.mode, jobs=args.jobs)
+        )
+        return _run_campaign(args, apps)
+
+
+def _run_campaign(args: argparse.Namespace, apps: tuple) -> int:
+    from repro.runtime.campaign import (
+        CampaignConfig,
+        CampaignError,
+        CampaignRunner,
+    )
+
     try:
         config = CampaignConfig(
             apps=apps,
@@ -270,9 +350,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
         task_timeout=args.timeout,
         cache=_batch_cache(args),
     )
-    start = time.perf_counter()
-    results = pool.check_paths(files)
-    elapsed = time.perf_counter() - start
+    with _observed(args, "repro.batch", files=len(files), jobs=args.jobs):
+        start = time.perf_counter()
+        results = pool.check_paths(files)
+        elapsed = time.perf_counter() - start
     if args.json:
         print(protocol.dumps({
             "version": protocol.PROTOCOL_VERSION,
@@ -292,6 +373,11 @@ def cmd_batch(args: argparse.Namespace) -> int:
         cached = sum(1 for r in results if r.cached)
         print(f"// {passed}/{len(results)} self-stabilizing, "
               f"{cached} from cache, {elapsed:.3f}s total")
+        if pool.cache is not None:
+            stats = pool.cache.stats
+            print(f"// cache: {stats.memory_hits} memory hits, "
+                  f"{stats.disk_hits} disk hits, {stats.misses} misses, "
+                  f"{stats.stores} stores, {stats.evictions} evictions")
     return 0 if all(r.ok for r in results) else 1
 
 
@@ -310,6 +396,68 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_metrics(args: argparse.Namespace) -> int:
+    if (args.trace is None) == (args.socket is None):
+        print(
+            "error: metrics needs exactly one of --trace FILE or "
+            "--socket PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.trace is not None:
+        if args.format == "prometheus":
+            print(
+                "error: --format prometheus needs a running daemon "
+                "(--socket); a trace file has spans, not a registry",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            events = validate_trace(args.trace)
+        except TraceError as exc:
+            print(f"error: invalid trace: {exc}", file=sys.stderr)
+            return 2
+        rows = aggregate_trace(events)
+        if args.format == "json":
+            print(json.dumps({"events": len(events), "spans": rows}))
+            return 0
+        print(f"// {len(events)} span events in {args.trace}")
+        print(f"{'span':<24} {'count':>6} {'wall':>10} {'mean':>10}  counters")
+        for row in rows:
+            counters = ", ".join(
+                f"{key}={value}" for key, value in sorted(row["counters"].items())
+            )
+            print(
+                f"{row['name']:<24} {row['count']:6d} "
+                f"{row['wall_seconds'] * 1000:8.2f}ms "
+                f"{row['mean_seconds'] * 1000:8.2f}ms  {counters}"
+            )
+        return 0
+    from repro.service.client import ReproClient, ServiceError
+
+    try:
+        with ReproClient(args.socket) as client:
+            if args.format == "prometheus":
+                print(client.metrics(format="prometheus")["metrics_text"], end="")
+                return 0
+            snapshot = client.metrics()["metrics"]
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(snapshot))
+        return 0
+    for name, value in sorted(snapshot["counters"].items()):
+        print(f"{name:<40} {value}")
+    for name, value in sorted(snapshot["gauges"].items()):
+        print(f"{name:<40} {value}")
+    for name, hist in sorted(snapshot["histograms"].items()):
+        print(
+            f"{name:<40} count={hist['count']} sum={hist['sum']:.6f}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -321,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("file")
     check.add_argument("--json", action="store_true",
                        help="emit the versioned JSON protocol payload")
+    _add_obs_arguments(check)
     check.set_defaults(func=cmd_check)
 
     infer = sub.add_parser("infer", help="infer location annotations")
@@ -332,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="suppress the annotated source")
     infer.add_argument("--json", action="store_true",
                        help="emit the versioned JSON summary payload")
+    _add_obs_arguments(infer)
     infer.set_defaults(func=cmd_infer)
 
     run = sub.add_parser("run", help="execute on synthetic inputs")
@@ -394,6 +544,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help="also write the JSON report to this file")
     campaign.add_argument("--json", action="store_true",
                           help="emit the versioned JSON report on stdout")
+    _add_obs_arguments(campaign)
     campaign.set_defaults(func=cmd_campaign)
 
     lattices = sub.add_parser("lattices", help="render location lattices")
@@ -418,6 +569,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the result cache")
     batch.add_argument("--json", action="store_true",
                        help="emit one JSON object with all results")
+    _add_obs_arguments(batch)
     batch.set_defaults(func=cmd_batch)
 
     serve = sub.add_parser(
@@ -430,6 +582,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
     serve.set_defaults(func=cmd_serve)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="render a metrics/trace snapshot from a trace file or daemon",
+    )
+    metrics.add_argument("--trace", metavar="FILE", default=None,
+                         help="aggregate a JSON-lines trace written by "
+                              "--trace")
+    metrics.add_argument("--socket", metavar="PATH", default=None,
+                         help="query a running daemon's metrics registry")
+    metrics.add_argument("--format", choices=("text", "json", "prometheus"),
+                         default="text",
+                         help="output format (prometheus needs --socket)")
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

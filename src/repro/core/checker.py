@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.obs import get_tracer
+
 from repro.core.environment import LocationWorld
 from repro.core.errors import Check, Diagnostic, DiagnosticSink, Severity
 from repro.core.eviction import EvictionAnalysis, LoopFacts, MethodSummary
@@ -95,23 +97,41 @@ class SJavaChecker:
     def __init__(self, info: ProgramInfo) -> None:
         self.info = info
         self.sink = DiagnosticSink()
-        self.world = LocationWorld(info, self.sink)
-        self.call_graph: CallGraph = build_call_graph(info)
+        with get_tracer().span("lattice_build"):
+            self.world = LocationWorld(info, self.sink)
+            self.call_graph: CallGraph = build_call_graph(info)
 
     def run(self) -> CheckReport:
+        tracer = get_tracer()
+        with tracer.span("check") as span:
+            report = self._run(tracer)
+            span.count("diagnostics", len(report.diagnostics))
+            span.set_attr("self_stabilizing", report.self_stabilizing)
+        return report
+
+    def _run(self, tracer) -> CheckReport:
         report = CheckReport()
         loop = self._require_event_loop()
         if loop is None:
             report.diagnostics = self.sink.diagnostics
             return report
 
-        flow = FlowChecker(self.info, self.world, self.sink, self.call_graph)
-        scope = flow.check()
+        with tracer.span("flow_check") as span:
+            flow = FlowChecker(
+                self.info, self.world, self.sink, self.call_graph
+            )
+            scope = flow.check()
+            span.count("methods", len(scope))
         report.checked_scope = scope
 
-        LinearTypeChecker(self.info, self.world, scope, self.sink).run()
-        InheritanceChecker(self.info, self.world, self.sink).run()
-        TerminationAnalysis(self.info, self.call_graph, scope, self.sink).run()
+        with tracer.span("linear"):
+            LinearTypeChecker(self.info, self.world, scope, self.sink).run()
+        with tracer.span("inheritance"):
+            InheritanceChecker(self.info, self.world, self.sink).run()
+        with tracer.span("termination"):
+            TerminationAnalysis(
+                self.info, self.call_graph, scope, self.sink
+            ).run()
 
         trusted = {
             key
@@ -120,19 +140,23 @@ class SJavaChecker:
             )
             if (env := self.world.env_of(*key)) is not None and env.trusted
         }
-        eviction = EvictionAnalysis(
-            self.info,
-            self.call_graph,
-            scope | trusted,
-            flow.facts.via_shared_stmts,
-            self.sink,
-            trusted=trusted,
-        )
-        facts = eviction.run()
+        with tracer.span("eviction"):
+            eviction = EvictionAnalysis(
+                self.info,
+                self.call_graph,
+                scope | trusted,
+                flow.facts.via_shared_stmts,
+                self.sink,
+                trusted=trusted,
+            )
+            facts = eviction.run()
         report.loop_facts = facts
         report.summaries = eviction.summaries
         if facts is not None:
-            SharedLocationAnalysis(self.info, self.world, facts, self.sink).run()
+            with tracer.span("shared"):
+                SharedLocationAnalysis(
+                    self.info, self.world, facts, self.sink
+                ).run()
 
         report.diagnostics = self.sink.diagnostics
         return report
@@ -163,11 +187,15 @@ def check_program(source: str) -> CheckReport:
     SJava check failures are reported in the returned
     :class:`CheckReport`.
     """
-    program = parse_program(source)
+    with get_tracer().span("parse"):
+        program = parse_program(source)
     return check_parsed(program)
 
 
 def check_parsed(program: ast.Program) -> CheckReport:
-    info = resolve_program(program)
-    typecheck_program(info)
+    tracer = get_tracer()
+    with tracer.span("resolve"):
+        info = resolve_program(program)
+    with tracer.span("typecheck"):
+        typecheck_program(info)
     return SJavaChecker(info).run()

@@ -25,6 +25,7 @@ from typing import Optional
 
 from repro.core.checker import CheckReport, check_program
 from repro.core.lattice import Lattice
+from repro.obs import get_tracer, timed_span
 from repro.infer.cycles import avoid_superfluous_cycles
 from repro.infer.dedekind import CompletedLattice, complete
 from repro.infer.hierarchy import HierarchyGraph, HierarchySet, decompose
@@ -65,6 +66,10 @@ class InferenceResult:
     #: flows the type system cannot represent (Section 5.2.7)
     dropped_flows: list
     check_report: Optional[CheckReport] = None
+    #: Wall seconds per pipeline phase (value_flow, cycle_elimination,
+    #: decompose, simplify, complete, emit, verify) — the span-derived
+    #: timings the service reports.
+    phase_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def verified(self) -> bool:
@@ -99,38 +104,55 @@ class InferenceEngine:
         self.mode = mode
 
     def run(self, verify: bool = True) -> InferenceResult:
-        start = time.perf_counter()
-        analysis = ValueFlowAnalysis(self.info)
-        graphs = analysis.run()
-        renamed: dict[MethodKey, dict[str, FlowNode]] = {}
-        for key, graph in graphs.items():
-            renamed[key] = avoid_superfluous_cycles(graph)
+        phases: dict[str, float] = {}
+        with get_tracer().span("infer", mode=self.mode):
+            return self._run(verify, phases)
 
-        hierarchies = decompose(self.info, graphs)
+    def _run(self, verify: bool, phases: dict[str, float]) -> InferenceResult:
+        start = time.perf_counter()
+        with timed_span("value_flow", phases):
+            analysis = ValueFlowAnalysis(self.info)
+            graphs = analysis.run()
+        with timed_span("cycle_elimination", phases) as span:
+            renamed: dict[MethodKey, dict[str, FlowNode]] = {}
+            for key, graph in graphs.items():
+                renamed[key] = avoid_superfluous_cycles(graph)
+            span.count("renamed_vars", sum(len(r) for r in renamed.values()))
+
+        with timed_span("decompose", phases):
+            hierarchies = decompose(self.info, graphs)
 
         if self.mode == "sinfer":
-            self._simplify(graphs, hierarchies)
+            with timed_span("simplify", phases):
+                self._simplify(graphs, hierarchies)
 
         completed: dict[str, CompletedLattice] = {}
         lattices: dict[str, Lattice] = {}
         metrics: list[LatticeMetrics] = []
-        for key in sorted(hierarchies.method):
-            name = f"method {key[0]}.{key[1]}"
-            done = complete(hierarchies.method[key], name)
-            completed[name] = done
-            lattices[name] = done.lattice
-            metrics.append(lattice_metrics(name, done.lattice))
-        for class_name in sorted(hierarchies.fields):
-            name = f"class {class_name}"
-            done = complete(hierarchies.fields[class_name], name)
-            completed[name] = done
-            lattices[name] = done.lattice
-            metrics.append(lattice_metrics(name, done.lattice))
+        with timed_span("complete", phases) as span:
+            for key in sorted(hierarchies.method):
+                name = f"method {key[0]}.{key[1]}"
+                done = complete(hierarchies.method[key], name)
+                completed[name] = done
+                lattices[name] = done.lattice
+                metrics.append(lattice_metrics(name, done.lattice))
+            for class_name in sorted(hierarchies.fields):
+                name = f"class {class_name}"
+                done = complete(hierarchies.fields[class_name], name)
+                completed[name] = done
+                lattices[name] = done.lattice
+                metrics.append(lattice_metrics(name, done.lattice))
+            span.count("lattices", len(lattices))
 
-        source = self._emit(graphs, hierarchies, completed, renamed)
+        with timed_span("emit", phases):
+            source = self._emit(graphs, hierarchies, completed, renamed)
         elapsed = time.perf_counter() - start
 
-        report = check_program(source) if verify else None
+        if verify:
+            with timed_span("verify", phases):
+                report = check_program(source)
+        else:
+            report = None
         return InferenceResult(
             mode=self.mode,
             annotated_source=source,
@@ -140,6 +162,7 @@ class InferenceEngine:
             elapsed_seconds=elapsed,
             dropped_flows=list(hierarchies.dropped),
             check_report=report,
+            phase_seconds=phases,
         )
 
     # -- simplification --------------------------------------------------

@@ -20,6 +20,11 @@ from repro.core.lattice import BOTTOM, Lattice, TOP
 
 SIMPLE_THRESHOLD = 5
 
+#: Schema version stamped into :meth:`MetricsSummary.to_dict` so service
+#: clients can detect drift in the summary layout.  Bump on any
+#: key/semantics change.
+SUMMARY_SCHEMA = 1
+
 
 @dataclass(frozen=True)
 class LatticeMetrics:
@@ -91,6 +96,7 @@ class MetricsSummary:
 
     def to_dict(self) -> dict:
         return {
+            "schema": SUMMARY_SCHEMA,
             "simple_count": self.simple_count,
             "simple_locations": self.simple_locations,
             "simple_paths": self.simple_paths,
@@ -103,6 +109,12 @@ class MetricsSummary:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsSummary":
+        schema = data.get("schema", SUMMARY_SCHEMA)
+        if schema != SUMMARY_SCHEMA:
+            raise ValueError(
+                f"unsupported metrics summary schema {schema!r} "
+                f"(speaking {SUMMARY_SCHEMA})"
+            )
         return cls(
             simple_count=int(data.get("simple_count", 0)),
             simple_locations=int(data.get("simple_locations", 0)),

@@ -27,6 +27,7 @@ from typing import Optional
 
 from repro.lang import ast
 from repro.lang.callgraph import CallGraph, MethodKey, build_call_graph
+from repro.obs import get_tracer
 from repro.lang.symtab import BuiltinCall, MethodCall, ProgramInfo
 
 FlowNode = tuple[str, ...]
@@ -137,19 +138,23 @@ class ValueFlowAnalysis:
         # Two passes give the fixed point in the presence of summaries
         # that may grow (the scope is recursion-free so one pass in
         # topological order already suffices; the second is a safety net).
-        for _ in range(2):
-            changed = False
-            for key in order:
-                cls = self.info.classes[key[0]]
-                method = cls.method_named(key[1])
-                assert method is not None
-                builder = _GraphBuilder(self, key[0], method)
-                graph = builder.build()
-                summary = _summarize(graph)
-                if self.summaries.get(key) != summary:
-                    changed = True
-                self.graphs[key] = graph
-                self.summaries[key] = summary
+        tracer = get_tracer()
+        for round_index in range(2):
+            with tracer.span("fixpoint_round", round=round_index) as span:
+                changed = False
+                for key in order:
+                    cls = self.info.classes[key[0]]
+                    method = cls.method_named(key[1])
+                    assert method is not None
+                    builder = _GraphBuilder(self, key[0], method)
+                    graph = builder.build()
+                    summary = _summarize(graph)
+                    if self.summaries.get(key) != summary:
+                        changed = True
+                        span.count("summaries_changed")
+                    self.graphs[key] = graph
+                    self.summaries[key] = summary
+                span.count("methods", len(order))
             if not changed:
                 break
         return self.graphs

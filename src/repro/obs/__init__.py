@@ -1,0 +1,74 @@
+"""repro.obs — dependency-free observability for the checking stack.
+
+Three pieces (see ``docs/OBSERVABILITY.md``):
+
+* **tracing** (:mod:`repro.obs.trace`) — nested spans with wall/CPU
+  time, attributes and counters; thread-local context; a no-op tracer
+  so instrumented hot paths cost ~nothing when tracing is off;
+* **metrics** (:mod:`repro.obs.metrics`) — a process-wide registry of
+  counters, gauges and fixed-bucket histograms with Prometheus text and
+  JSON snapshot expositions;
+* **sinks** (:mod:`repro.obs.sinks`) — an in-memory ring buffer, an
+  atomic-append JSON-lines trace writer, and a human span-tree
+  renderer.
+
+The CLI surfaces all of it: ``--trace FILE`` writes a JSONL trace,
+``--profile`` prints the span tree, and ``repro metrics`` renders a
+snapshot from a trace file or a running daemon.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.sinks import (
+    JsonlTraceWriter,
+    RingBufferSink,
+    TraceError,
+    aggregate_trace,
+    format_tree,
+    read_trace,
+    validate_trace,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    NullTracer,
+    Span,
+    Tracer,
+    get_tracer,
+    installed_tracer,
+    set_tracer,
+    span_event,
+    timed_span,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "METRICS_SCHEMA",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_registry",
+    "JsonlTraceWriter",
+    "RingBufferSink",
+    "TraceError",
+    "aggregate_trace",
+    "format_tree",
+    "read_trace",
+    "validate_trace",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "installed_tracer",
+    "set_tracer",
+    "span_event",
+    "timed_span",
+]

@@ -1,0 +1,276 @@
+"""Process-wide metrics: counters, gauges and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` is a thread-safe, dependency-free metric
+store with two exposition formats:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-serializable dict carrying a
+  ``schema`` version, the form the daemon's ``metrics`` op returns;
+* :meth:`MetricsRegistry.render_prometheus` — the Prometheus text
+  exposition format (``# TYPE``/``# HELP`` comments, ``_bucket``/
+  ``_sum``/``_count`` series for histograms), so a scraper pointed at a
+  dump of the daemon needs no translation layer.
+
+Metric names are flat (``repro_cache_memory_hits``); histograms use
+fixed bucket boundaries chosen at registration, which keeps observation
+O(#buckets) with no allocation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Optional, Sequence
+
+#: Bump when the snapshot layout changes.
+METRICS_SCHEMA = 1
+
+#: Latency buckets (seconds) suited to checker phases and pool tasks:
+#: sub-millisecond cache hits up to multi-second campaign shards.
+DEFAULT_TIME_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = lock
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, cache size…)."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.help = help
+        self._value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-boundary histogram (cumulative buckets, Prometheus-style)."""
+
+    __slots__ = ("name", "help", "boundaries", "_counts", "_sum", "_count",
+                 "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        boundaries: Sequence[float],
+        lock: threading.Lock,
+    ) -> None:
+        if not boundaries or list(boundaries) != sorted(boundaries):
+            raise ValueError("histogram boundaries must be sorted, non-empty")
+        self.name = name
+        self.help = help
+        self.boundaries = tuple(float(b) for b in boundaries)
+        #: per-bucket (non-cumulative) counts; index len(boundaries) is +Inf
+        self._counts = [0] * (len(self.boundaries) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.boundaries, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def cumulative_buckets(self) -> list[tuple[str, int]]:
+        """[(upper_bound_label, cumulative_count), …] ending with +Inf."""
+        out: list[tuple[str, int]] = []
+        running = 0
+        for boundary, count in zip(self.boundaries, self._counts):
+            running += count
+            out.append((format_bound(boundary), running))
+        out.append(("+Inf", running + self._counts[-1]))
+        return out
+
+
+def format_bound(bound: float) -> str:
+    """Prometheus-style bucket label: no trailing zeros, no exponent."""
+    text = f"{bound:.12f}".rstrip("0").rstrip(".")
+    return text if text else "0"
+
+
+class MetricsRegistry:
+    """A named family of counters, gauges and histograms.
+
+    Registration is get-or-create: asking twice for the same name (and
+    kind) returns the same metric, so instrumented modules never need to
+    coordinate.  Asking for an existing name with a different kind is a
+    programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- registration ----------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._register(name, help, Counter)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._register(name, help, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, Histogram):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            self._validate_name(name)
+            metric = Histogram(name, help, buckets, threading.Lock())
+            self._metrics[name] = metric
+            return metric
+
+    def _register(self, name: str, help: str, kind: type):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, kind):
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{type(existing).__name__}"
+                    )
+                return existing
+            self._validate_name(name)
+            metric = kind(name, help, threading.Lock())
+            self._metrics[name] = metric
+            return metric
+
+    @staticmethod
+    def _validate_name(name: str) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+
+    # -- exposition ------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state of every registered metric."""
+        counters: dict[str, float] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in sorted(metrics, key=lambda m: m.name):
+            if isinstance(metric, Counter):
+                counters[metric.name] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[metric.name] = metric.value
+            else:
+                histograms[metric.name] = {
+                    "buckets": {
+                        label: count
+                        for label, count in metric.cumulative_buckets()
+                    },
+                    "sum": metric.sum,
+                    "count": metric.count,
+                }
+        return {
+            "schema": METRICS_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in sorted(metrics, key=lambda m: m.name):
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            if isinstance(metric, Counter):
+                lines.append(f"# TYPE {metric.name} counter")
+                lines.append(f"{metric.name} {_render_value(metric.value)}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"# TYPE {metric.name} gauge")
+                lines.append(f"{metric.name} {_render_value(metric.value)}")
+            else:
+                lines.append(f"# TYPE {metric.name} histogram")
+                for label, count in metric.cumulative_buckets():
+                    lines.append(
+                        f'{metric.name}_bucket{{le="{label}"}} {count}'
+                    )
+                lines.append(
+                    f"{metric.name}_sum {_render_value(metric.sum)}"
+                )
+                lines.append(f"{metric.name}_count {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every metric — test isolation only."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def _render_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(value)
+
+
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide registry instrumented modules report to."""
+    return _GLOBAL

@@ -1,0 +1,253 @@
+"""Trace sinks and renderers.
+
+A sink is anything with ``emit(span)``; the tracer calls it once per
+*closed* span, children before parents.  Three are provided:
+
+* :class:`RingBufferSink` — keeps the last N finished root span trees in
+  memory (the daemon's ``--profile`` and inspection surface);
+* :class:`JsonlTraceWriter` — appends one :func:`~repro.obs.trace.span_event`
+  JSON object per line to a file.  Writes go through a single
+  ``O_APPEND`` file descriptor in one ``os.write`` call each, so
+  concurrent threads (and well-behaved cooperating processes) never
+  interleave partial lines;
+* :func:`format_tree` — a human rendering of one span tree with
+  durations and per-phase percentages.
+
+:func:`read_trace` / :func:`validate_trace` are the executable form of
+the JSONL schema documented in ``docs/OBSERVABILITY.md``; CI runs them
+over the smoke campaign's trace.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import threading
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.obs.trace import Span, TRACE_SCHEMA, span_event
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` finished *root* spans."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        self._roots: collections.deque[Span] = collections.deque(
+            maxlen=capacity
+        )
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        if span.parent is None:
+            with self._lock:
+                self._roots.append(span)
+
+    @property
+    def roots(self) -> list[Span]:
+        with self._lock:
+            return list(self._roots)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._roots.clear()
+
+
+class JsonlTraceWriter:
+    """Appends one span event per line; atomic at line granularity."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        line = json.dumps(
+            span_event(span), sort_keys=True, separators=(",", ":")
+        )
+        data = (line + "\n").encode("utf-8")
+        with self._lock:
+            if self._fd is not None:
+                os.write(self._fd, data)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _format_extras(span: Span) -> str:
+    parts: list[str] = []
+    for key in sorted(span.attrs):
+        parts.append(f"{key}={span.attrs[key]}")
+    for key in sorted(span.counters):
+        value = span.counters[key]
+        rendered = int(value) if value == int(value) else round(value, 6)
+        parts.append(f"{key}={rendered}")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def format_tree(root: Span) -> str:
+    """Render one span tree with durations and per-phase percentages.
+
+    Percentages are relative to the *root* span, so a phase list that
+    sums to ~100% means the root's time is fully accounted for.
+    """
+    total = root.duration_seconds or 0.0
+    lines: list[str] = []
+
+    def pct(span: Span) -> str:
+        if total <= 0.0 or span.duration_seconds is None:
+            return "     -"
+        return f"{100.0 * span.duration_seconds / total:5.1f}%"
+
+    def ms(span: Span) -> str:
+        if span.duration_seconds is None:
+            return "   open"
+        return f"{span.duration_seconds * 1000.0:9.2f}ms"
+
+    def render(span: Span, prefix: str, branch: str, child_prefix: str) -> None:
+        lines.append(
+            f"{prefix}{branch}{span.name}  {ms(span)}  {pct(span)}"
+            f"{_format_extras(span)}"
+        )
+        for index, child in enumerate(span.children):
+            last = index == len(span.children) - 1
+            render(
+                child,
+                child_prefix,
+                "└─ " if last else "├─ ",
+                child_prefix + ("   " if last else "│  "),
+            )
+
+    render(root, "", "", "")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Reading traces back
+# ---------------------------------------------------------------------------
+
+
+class TraceError(ValueError):
+    """A trace file violated the documented JSONL schema."""
+
+
+_REQUIRED_EVENT_KEYS = (
+    "schema", "event", "trace_id", "span_id", "parent_id", "name",
+    "start_seconds", "duration_seconds", "cpu_seconds", "attrs", "counters",
+)
+
+
+def validate_event(event: dict) -> None:
+    """Raise :class:`TraceError` unless ``event`` is a well-formed span
+    event (the schema in ``docs/OBSERVABILITY.md``)."""
+    if not isinstance(event, dict):
+        raise TraceError("trace event must be a JSON object")
+    missing = [key for key in _REQUIRED_EVENT_KEYS if key not in event]
+    if missing:
+        raise TraceError(f"trace event missing keys {missing}")
+    if event["schema"] != TRACE_SCHEMA:
+        raise TraceError(
+            f"unsupported trace schema {event['schema']!r} "
+            f"(speaking {TRACE_SCHEMA})"
+        )
+    if event["event"] != "span":
+        raise TraceError(f"unknown trace event kind {event['event']!r}")
+    if not isinstance(event["name"], str) or not event["name"]:
+        raise TraceError("span event needs a non-empty name")
+    if not isinstance(event["span_id"], int):
+        raise TraceError("span_id must be an int")
+    if event["parent_id"] is not None and not isinstance(
+        event["parent_id"], int
+    ):
+        raise TraceError("parent_id must be an int or null")
+    for key in ("start_seconds", "duration_seconds", "cpu_seconds"):
+        if not isinstance(event[key], (int, float)):
+            raise TraceError(f"{key} must be a number")
+    for key in ("attrs", "counters"):
+        if not isinstance(event[key], dict):
+            raise TraceError(f"{key} must be an object")
+
+
+def read_trace(path: str | Path) -> list[dict]:
+    """Parse and validate a JSONL trace file into a list of events."""
+    events: list[dict] = []
+    for number, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        if not line.strip():
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceError(f"{path}:{number}: invalid JSON: {exc}") from exc
+        try:
+            validate_event(event)
+        except TraceError as exc:
+            raise TraceError(f"{path}:{number}: {exc}") from exc
+        events.append(event)
+    return events
+
+
+def validate_trace(path: str | Path) -> list[dict]:
+    """:func:`read_trace` plus structural checks: the file must be
+    non-empty and every trace must end in a *closed root* span."""
+    events = read_trace(path)
+    if not events:
+        raise TraceError(f"{path}: trace file holds no span events")
+    roots_by_trace: dict[str, int] = {}
+    for event in events:
+        if event["parent_id"] is None:
+            roots_by_trace[event["trace_id"]] = (
+                roots_by_trace.get(event["trace_id"], 0) + 1
+            )
+    traces = {event["trace_id"] for event in events}
+    unrooted = sorted(traces - set(roots_by_trace))
+    if unrooted:
+        raise TraceError(
+            f"{path}: traces {unrooted} have no closed root span "
+            f"(the run was interrupted mid-span?)"
+        )
+    return events
+
+
+def aggregate_trace(events: Iterable[dict]) -> list[dict]:
+    """Per-span-name aggregates for ``repro metrics --trace``: count,
+    total/mean wall seconds, total CPU seconds, summed counters."""
+    totals: dict[str, dict] = {}
+    for event in events:
+        entry = totals.setdefault(
+            event["name"],
+            {"name": event["name"], "count": 0, "wall_seconds": 0.0,
+             "cpu_seconds": 0.0, "counters": {}},
+        )
+        entry["count"] += 1
+        entry["wall_seconds"] += float(event["duration_seconds"])
+        entry["cpu_seconds"] += float(event["cpu_seconds"])
+        for key, value in event["counters"].items():
+            entry["counters"][key] = entry["counters"].get(key, 0) + value
+    out = sorted(
+        totals.values(), key=lambda e: e["wall_seconds"], reverse=True
+    )
+    for entry in out:
+        entry["mean_seconds"] = (
+            entry["wall_seconds"] / entry["count"] if entry["count"] else 0.0
+        )
+    return out

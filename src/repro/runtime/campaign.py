@@ -34,11 +34,13 @@ import json
 import math
 import os
 import random
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.apps import APP_NAMES, app_experiment
+from repro.obs import get_tracer, global_registry
 from repro.runtime.stabilization import InjectionTrial
 from repro.service.pool import ResilientPool, TaskFailure
 
@@ -249,7 +251,10 @@ def trial_record(app: str, trial: InjectionTrial) -> dict:
 
 def run_shard(payload: dict) -> dict:
     """Run one shard of injection trials.  Ships to pool workers, so it
-    takes and returns plain dicts only."""
+    takes and returns plain dicts only.  ``run_seconds`` is measured on
+    the worker side, so the driver can split a shard's settle latency
+    into execution time and queue wait."""
+    start = time.perf_counter()
     experiment = app_experiment(
         payload["app"],
         payload.get("iterations"),
@@ -263,7 +268,11 @@ def run_shard(payload: dict) -> dict:
         )
         for site, seed in zip(payload["sites"], payload["seeds"])
     ]
-    return {"shard_id": payload["shard_id"], "trials": trials}
+    return {
+        "shard_id": payload["shard_id"],
+        "trials": trials,
+        "run_seconds": time.perf_counter() - start,
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -431,34 +440,87 @@ class CampaignRunner:
             backoff_base=self.backoff_base,
             backoff_cap=self.backoff_cap,
         )
+        tracer = get_tracer()
+        metrics = global_registry()
         payloads = [shard.payload(self.config) for shard in pending]
-        for index, result in pool.run(run_shard, payloads):
-            shard = pending[index]
-            if isinstance(result, TaskFailure):
-                record = {
-                    "status": "infra-failed",
-                    "reason": result.reason,
-                    "message": result.message,
-                    "attempts": result.attempts,
-                }
-                self._note(
-                    f"shard {shard.shard_id}: infra-failed "
-                    f"({result.reason} after {result.attempts} attempts)"
-                )
-            else:
-                record = {"status": "done", "trials": result["trials"]}
-                self._note(
-                    f"shard {shard.shard_id}: {len(result['trials'])} trials"
-                )
-            self._manifest["shards"][shard.shard_id] = record
-            self._save_manifest()
-            self.executed_shards += 1
-            if (
-                self.stop_after_shards is not None
-                and self.executed_shards >= self.stop_after_shards
-            ):
-                self._note("campaign: stop_after_shards reached, pausing")
-                break
+        with tracer.span("campaign_drive", shards=len(pending)) as drive:
+            drive_start = time.perf_counter()
+            for index, result in pool.run(run_shard, payloads):
+                shard = pending[index]
+                settled = time.perf_counter() - drive_start
+                attempts = pool.attempts_of(index)
+                if isinstance(result, TaskFailure):
+                    record = {
+                        "status": "infra-failed",
+                        "reason": result.reason,
+                        "message": result.message,
+                        "attempts": result.attempts,
+                    }
+                    metrics.counter(
+                        "repro_campaign_shards_infra_failed",
+                        "shards given up on after retries",
+                    ).inc()
+                    self._note(
+                        f"shard {shard.shard_id}: infra-failed "
+                        f"({result.reason} after {result.attempts} attempts)"
+                    )
+                else:
+                    run_seconds = float(result.get("run_seconds", 0.0))
+                    obs = {
+                        "run_seconds": round(run_seconds, 6),
+                        "queue_wait_seconds": round(
+                            max(0.0, settled - run_seconds), 6
+                        ),
+                        "attempts": attempts,
+                        "retries": attempts - 1,
+                        "timeouts": sum(
+                            1 for t in result["trials"]
+                            if t["verdict"] == TIMEOUT
+                        ),
+                    }
+                    record = {
+                        "status": "done",
+                        "trials": result["trials"],
+                        "obs": obs,
+                    }
+                    with tracer.span(
+                        "shard", shard_id=shard.shard_id, app=shard.app
+                    ) as span:
+                        span.count("trials", len(result["trials"]))
+                        span.count("run_seconds", obs["run_seconds"])
+                        span.count(
+                            "queue_wait_seconds", obs["queue_wait_seconds"]
+                        )
+                        span.count("retries", obs["retries"])
+                        span.count("timeouts", obs["timeouts"])
+                    metrics.counter(
+                        "repro_campaign_shards_done", "shards completed"
+                    ).inc()
+                    metrics.counter(
+                        "repro_campaign_shard_retries",
+                        "extra attempts shards needed",
+                    ).inc(obs["retries"])
+                    metrics.counter(
+                        "repro_campaign_trials_total", "trials executed"
+                    ).inc(len(result["trials"]))
+                    metrics.counter(
+                        "repro_campaign_trial_timeouts",
+                        "trials stopped by the step-budget watchdog",
+                    ).inc(obs["timeouts"])
+                    self._note(
+                        f"shard {shard.shard_id}: "
+                        f"{len(result['trials'])} trials"
+                    )
+                self._manifest["shards"][shard.shard_id] = record
+                self._save_manifest()
+                self.executed_shards += 1
+                if (
+                    self.stop_after_shards is not None
+                    and self.executed_shards >= self.stop_after_shards
+                ):
+                    self._note("campaign: stop_after_shards reached, pausing")
+                    break
+            drive.count("executed_shards", self.executed_shards)
 
     # -- checkpointing ---------------------------------------------------
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.lang.symtab import ProgramInfo
+from repro.obs import get_tracer
 from repro.runtime.compiler import CompiledRunner
 from repro.runtime.devices import DeviceBus
 from repro.runtime.injection import ErrorInjector, StepCounter
@@ -165,6 +166,17 @@ class StabilizationExperiment:
         """One injected run corrupting the given site.  This is the unit
         campaigns sweep: exhaustive/stratified plans enumerate sites
         explicitly instead of sampling them."""
+        with get_tracer().span(
+            "trial", site=target_step, seed=seed, burst=burst
+        ) as span:
+            trial = self._trial_at(target_step, seed, burst, span)
+            span.set_attr("timed_out", trial.timed_out)
+            span.set_attr("diverged", trial.diverged)
+        return trial
+
+    def _trial_at(
+        self, target_step: int, seed: int, burst: int, span
+    ) -> InjectionTrial:
         injector = ErrorInjector(
             target_step=target_step, seed=seed + 1, burst=burst
         )
@@ -178,6 +190,7 @@ class StabilizationExperiment:
         except StepBudgetExceeded:
             # The corrupted run never finished: a runaway loop or
             # explosion of work.  Recorded as a timeout, never a hang.
+            span.count("steps", budget or 0)
             return InjectionTrial(
                 target_step=target_step,
                 injection_iteration=injector.injection_iteration,
@@ -186,6 +199,8 @@ class StabilizationExperiment:
                 recovery_iterations=None,
                 timed_out=True,
             )
+        span.count("steps", interpreter.steps)
+        span.count("ignored_errors", len(interpreter.error_log))
         faulty_groups = interpreter.outputs_by_iteration()
         reference = self.reference_groups()
         injection_iteration = injector.injection_iteration

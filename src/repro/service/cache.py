@@ -65,6 +65,7 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
@@ -76,6 +77,7 @@ class CacheStats:
             "disk_hits": self.disk_hits,
             "misses": self.misses,
             "stores": self.stores,
+            "evictions": self.evictions,
         }
 
 
@@ -126,6 +128,7 @@ class ResultCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_entries:
             self._memory.popitem(last=False)
+            self.stats.evictions += 1
 
     # -- disk tier -------------------------------------------------------
 

@@ -170,6 +170,11 @@ class ReproClient:
     def status(self) -> dict:
         return self._checked({"op": "status"})
 
+    def metrics(self, *, format: str = "json") -> dict:
+        """The daemon's metrics snapshot (``format="prometheus"`` returns
+        the text exposition in ``metrics_text``)."""
+        return self._checked({"op": "metrics", "format": format})
+
     def shutdown(self) -> dict:
         return self._checked({"op": "shutdown"})
 

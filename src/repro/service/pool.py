@@ -27,6 +27,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.core.checker import CheckReport, SJavaChecker
 from repro.lang import parse_program, resolve_program, typecheck_program
+from repro.obs import MetricsRegistry, timed_span
 from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError
 from repro.lang.symtab import ResolveError
@@ -49,22 +50,19 @@ def timed_check(source: str) -> tuple[CheckReport, dict]:
 
     Front-end failures raise (as in :func:`repro.core.checker.check_program`);
     the returned timings cover ``parse``/``resolve``/``typecheck``/``check``
-    in seconds.
+    in seconds.  Each pass also opens a span on the installed tracer
+    (:mod:`repro.obs`), so ``--trace``/``--profile`` see the same phases
+    the timings dict reports.
     """
     timings: dict[str, float] = {}
+    with timed_span("parse", timings):
+        program = parse_program(source)
+    with timed_span("resolve", timings):
+        info = resolve_program(program)
+    with timed_span("typecheck", timings):
+        typecheck_program(info)
     start = time.perf_counter()
-    program = parse_program(source)
-    timings["parse"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    info = resolve_program(program)
-    timings["resolve"] = time.perf_counter() - start
-
-    start = time.perf_counter()
-    typecheck_program(info)
-    timings["typecheck"] = time.perf_counter() - start
-
-    start = time.perf_counter()
+    # SJavaChecker opens its own "lattice_build" and "check" spans.
     report = SJavaChecker(info).run()
     timings["check"] = time.perf_counter() - start
     return report, timings
@@ -133,6 +131,15 @@ class ResilientPool:
     backoff_cap: float = 4.0
     #: Injection point for tests; production code sleeps for real.
     sleep: Callable[[float], None] = time.sleep
+    #: Failure counts per payload index for the *current* :meth:`run`;
+    #: read through :meth:`attempts_of` as results stream out.
+    _attempts: dict = field(default_factory=dict)
+
+    def attempts_of(self, index: int) -> int:
+        """How many times payload ``index`` has run so far (≥ 1 once its
+        result has been yielded).  Valid for the most recent / ongoing
+        :meth:`run`; campaigns persist this into their manifest."""
+        return self._attempts.get(index, 0) + 1
 
     def run(
         self, fn: Callable[[dict], dict], payloads: Sequence[dict]
@@ -142,10 +149,12 @@ class ResilientPool:
         Results stream out as soon as each task settles, so callers can
         checkpoint incrementally; every payload yields exactly once.
         """
+        self._attempts = {}
         if self.max_workers <= 1:
             yield from self._run_inline(fn, payloads)
             return
-        attempts = {index: 0 for index in range(len(payloads))}
+        attempts = self._attempts
+        attempts.update({index: 0 for index in range(len(payloads))})
         pending = list(range(len(payloads)))
         round_number = 0
         while pending:
@@ -272,7 +281,17 @@ class CheckerPool:
     max_workers: int = 1
     task_timeout: Optional[float] = None
     cache: Optional[ResultCache] = None
+    #: When set, task queue-wait and execution times are recorded into
+    #: ``repro_pool_queue_seconds`` / ``repro_pool_exec_seconds``
+    #: histograms (the daemon passes its registry in).
+    metrics: Optional[MetricsRegistry] = None
     _stats: dict = field(default_factory=lambda: {"checked": 0, "cached": 0})
+
+    def _observe(self, name: str, seconds: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(
+                name, "pool task latency in seconds"
+            ).observe(seconds)
 
     # -- public API ------------------------------------------------------
 
@@ -333,8 +352,9 @@ class CheckerPool:
             )
         start = time.perf_counter()
         payload = check_source_payload(source, file=file)
-        return self._absorb(file, source, payload,
-                            elapsed=time.perf_counter() - start)
+        elapsed = time.perf_counter() - start
+        self._observe("repro_pool_exec_seconds", elapsed)
+        return self._absorb(file, source, payload, elapsed=elapsed)
 
     def stats(self) -> dict:
         stats = dict(self._stats)
@@ -351,18 +371,32 @@ class CheckerPool:
             return
         if self.max_workers <= 1:
             for index, path, source in misses:
-                yield index, check_source_payload(source, file=path)
+                start = time.perf_counter()
+                payload = check_source_payload(source, file=path)
+                self._observe(
+                    "repro_pool_exec_seconds", time.perf_counter() - start
+                )
+                yield index, payload
             return
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=self.max_workers
         ) as executor:
+            submitted = time.perf_counter()
             futures = [
                 (index, path, executor.submit(_check_path_worker, path))
                 for index, path, _ in misses
             ]
             for index, path, future in futures:
                 try:
-                    yield index, future.result(timeout=self.task_timeout)
+                    payload = future.result(timeout=self.task_timeout)
+                    settle = time.perf_counter() - submitted
+                    exec_seconds = float(payload.get("elapsed_seconds", 0.0))
+                    self._observe("repro_pool_exec_seconds", exec_seconds)
+                    self._observe(
+                        "repro_pool_queue_seconds",
+                        max(0.0, settle - exec_seconds),
+                    )
+                    yield index, payload
                 except concurrent.futures.TimeoutError:
                     future.cancel()
                     yield index, protocol.error_payload(

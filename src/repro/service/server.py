@@ -15,11 +15,20 @@ number of requests.  Operations:
   — run annotation inference; response carries the stable summary and
   the annotated source;
 * ``{"op": "status"}`` — uptime-style counters: requests served per op,
-  cache statistics;
+  cache statistics, plus a compact ``metrics`` section;
+* ``{"op": "metrics"}`` — the full :class:`~repro.obs.MetricsRegistry`
+  snapshot (``{"format": "prometheus"}`` returns the text exposition
+  instead);
 * ``{"op": "shutdown"}`` — acknowledge, then stop the daemon.
 
 Every response carries ``version``, ``ok``, and the server-assigned
 ``request_id`` (a monotonically increasing counter).
+
+Observability: the daemon installs a :class:`~repro.obs.Tracer` (ring
+buffer sink) for its lifetime, wraps every operation in an ``op.<name>``
+span — handler threads each grow their own well-nested tree — and wires
+cache hit/miss/eviction statistics and pool latency histograms into a
+per-server metrics registry.  See ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -36,13 +45,21 @@ from repro.lang.lexer import LexError
 from repro.lang.parser import ParseError
 from repro.lang.symtab import ResolveError
 from repro.lang.typecheck import JavaTypeError
+from repro.obs import (
+    MetricsRegistry,
+    RingBufferSink,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    timed_span,
+)
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.pool import CheckerPool
 
 _FRONT_END_ERRORS = (LexError, ParseError, ResolveError, JavaTypeError)
 
-OPS = ("check", "infer", "status", "shutdown")
+OPS = ("check", "infer", "status", "metrics", "shutdown")
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -71,6 +88,8 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         socket_path: str | Path,
         *,
         cache: Optional[ResultCache] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         from repro.service.client import remove_stale_socket, socket_is_live
 
@@ -85,12 +104,25 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
                 )
             remove_stale_socket(self.socket_path)
         super().__init__(self.socket_path, _Handler)
-        self.pool = CheckerPool(max_workers=1, cache=cache)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.pool = CheckerPool(
+            max_workers=1, cache=cache, metrics=self.metrics
+        )
         self.started_at = time.time()
         self._lock = threading.Lock()
         self._request_counter = 0
         self._op_counts: dict[str, int] = {op: 0 for op in OPS}
         self._shutdown_thread: Optional[threading.Thread] = None
+        # The daemon owns process-wide tracing for its lifetime: library
+        # spans (checker passes, inference phases) report through
+        # get_tracer(), so the server's tracer is installed globally and
+        # restored by close().  One daemon per process.
+        self.trace_buffer = RingBufferSink(capacity=128)
+        self.tracer = (
+            tracer if tracer is not None
+            else Tracer(sinks=(self.trace_buffer,))
+        )
+        self._previous_tracer = set_tracer(self.tracer)
 
     # -- lifecycle -------------------------------------------------------
 
@@ -100,6 +132,8 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         return thread
 
     def close(self) -> None:
+        if get_tracer() is self.tracer:
+            set_tracer(self._previous_tracer)
         self.server_close()
         Path(self.socket_path).unlink(missing_ok=True)
 
@@ -118,9 +152,18 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             return self._error(request_id, str(op), f"unknown op {op!r}")
         with self._lock:
             self._op_counts[op] += 1
+        self.metrics.counter(
+            "repro_requests_total", "requests dispatched"
+        ).inc()
+        self.metrics.counter(
+            f"repro_op_{op}_total", f"{op} requests dispatched"
+        ).inc()
         try:
             handler = getattr(self, f"_op_{op}")
-            return handler(request, request_id)
+            with self.tracer.span(f"op.{op}", request_id=request_id) as span:
+                response = handler(request, request_id)
+                span.set_attr("ok", bool(response.get("ok")))
+            return response
         except _FRONT_END_ERRORS as exc:
             return self._error(request_id, op, f"front-end error: {exc}")
         except Exception as exc:  # a bug must not kill the daemon
@@ -160,9 +203,17 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             source, name = self._request_source(request)
         except (ValueError, OSError) as exc:
             return self._error(request_id, "check", str(exc))
+        start = time.perf_counter()
         result = self.pool.check_source(source, file=name)
         if result.payload is not None and result.payload.get("kind") == "check":
-            return self._envelope(request_id, "check", **result.payload)
+            payload = dict(result.payload)
+            if "timings" not in payload:
+                # Cache hits skip the pipeline, so there are no per-pass
+                # timings — report the lookup cost instead of nothing.
+                payload["timings"] = {
+                    "cache_lookup": time.perf_counter() - start
+                }
+            return self._envelope(request_id, "check", **payload)
         message = result.message or "check failed"
         return self._error(request_id, "check", message)
 
@@ -175,24 +226,44 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         if mode not in ("sinfer", "naive"):
             return self._error(request_id, "infer", f"unknown mode {mode!r}")
         start = time.perf_counter()
-        program = parse_program(source)
-        info = resolve_program(program)
-        typecheck_program(info)
+        timings: dict[str, float] = {}
+        with timed_span("parse", timings):
+            program = parse_program(source)
+        with timed_span("resolve", timings):
+            info = resolve_program(program)
+        with timed_span("typecheck", timings):
+            typecheck_program(info)
         result = infer_annotations(
             info, mode=mode, verify=bool(request.get("verify", True))
         )
+        # Span-derived per-phase timings: front end + the engine's
+        # pipeline phases (value_flow … verify), plus the old total.
+        timings.update(result.phase_seconds)
+        timings["total"] = time.perf_counter() - start
         payload = protocol.infer_payload(
-            result.summary_dict(),
-            file=name,
-            timings={"total": time.perf_counter() - start},
+            result.summary_dict(), file=name, timings=timings
         )
         payload["annotated_source"] = result.annotated_source
         return self._envelope(request_id, "infer", **payload)
+
+    def _sync_cache_metrics(self) -> None:
+        """Mirror :class:`CacheStats` into the registry so one snapshot
+        carries cache hit/miss/eviction counts alongside everything
+        else."""
+        cache = self.pool.cache
+        if cache is None:
+            return
+        for name, value in cache.stats.to_dict().items():
+            self.metrics.gauge(
+                f"repro_cache_{name}", f"result cache {name.replace('_', ' ')}"
+            ).set(value)
 
     def _op_status(self, request: dict, request_id: int) -> dict:
         with self._lock:
             op_counts = dict(self._op_counts)
             served = self._request_counter
+        self._sync_cache_metrics()
+        snapshot = self.metrics.snapshot()
         return self._envelope(
             request_id,
             "status",
@@ -200,6 +271,28 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             op_counts=op_counts,
             uptime_seconds=time.time() - self.started_at,
             pool=self.pool.stats(),
+            metrics={
+                "schema": snapshot["schema"],
+                "counters": snapshot["counters"],
+                "gauges": snapshot["gauges"],
+            },
+        )
+
+    def _op_metrics(self, request: dict, request_id: int) -> dict:
+        self._sync_cache_metrics()
+        fmt = str(request.get("format", "json"))
+        if fmt == "prometheus":
+            return self._envelope(
+                request_id,
+                "metrics",
+                metrics_text=self.metrics.render_prometheus(),
+            )
+        if fmt != "json":
+            return self._error(
+                request_id, "metrics", f"unknown metrics format {fmt!r}"
+            )
+        return self._envelope(
+            request_id, "metrics", metrics=self.metrics.snapshot()
         )
 
     def _op_shutdown(self, request: dict, request_id: int) -> dict:

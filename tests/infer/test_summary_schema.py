@@ -1,0 +1,37 @@
+"""MetricsSummary serialization: schema-versioned dict round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infer.metrics import SUMMARY_SCHEMA, MetricsSummary
+
+
+class TestRoundTrip:
+    def test_to_dict_from_dict_round_trips(self):
+        summary = MetricsSummary(
+            simple_count=4,
+            simple_locations=12,
+            simple_paths=9,
+            complex_count=2,
+            complex_locations=15,
+            complex_paths=40,
+        )
+        data = summary.to_dict()
+        restored = MetricsSummary.from_dict(data)
+        assert restored == summary
+        assert restored.to_dict() == data
+
+    def test_dict_carries_schema_and_derived_totals(self):
+        data = MetricsSummary(simple_locations=3, complex_locations=7).to_dict()
+        assert data["schema"] == SUMMARY_SCHEMA
+        assert data["total_locations"] == 10
+
+    def test_from_dict_without_schema_is_accepted(self):
+        # Summaries written before versioning carry no schema key.
+        restored = MetricsSummary.from_dict({"simple_count": 1})
+        assert restored.simple_count == 1
+
+    def test_from_dict_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="unsupported metrics summary"):
+            MetricsSummary.from_dict({"schema": SUMMARY_SCHEMA + 1})

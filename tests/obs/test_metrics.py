@@ -1,0 +1,139 @@
+"""MetricsRegistry: counters, gauges, histograms, expositions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_TIME_BUCKETS,
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    global_registry,
+)
+from repro.obs.metrics import format_bound
+
+
+class TestCounters:
+    def test_inc_and_get_or_create(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total").inc()
+        registry.counter("repro_requests_total").inc(2)
+        assert registry.counter("repro_requests_total").value == 3
+
+    def test_counters_only_go_up(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("c").inc(-1)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.histogram("x")
+
+    def test_invalid_name_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("bad name")
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0leading")
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+
+
+class TestHistograms:
+    def test_cumulative_buckets_end_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(6.05)
+        assert hist.cumulative_buckets() == [
+            ("0.1", 1), ("1", 3), ("+Inf", 4)
+        ]
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+        hist.observe(1.0)  # le="1" is inclusive, Prometheus-style
+        assert hist.cumulative_buckets()[0] == ("1", 1)
+
+    def test_unsorted_boundaries_raise(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            registry.histogram("h2", buckets=())
+
+    def test_default_buckets_cover_sub_ms_to_ten_s(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 10.0
+
+    def test_format_bound(self):
+        assert format_bound(0.001) == "0.001"
+        assert format_bound(1.0) == "1"
+        assert format_bound(2.5) == "2.5"
+
+
+class TestExposition:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("repro_requests_total", "requests").inc(7)
+        registry.gauge("repro_cache_entries", "cache size").set(3)
+        hist = registry.histogram(
+            "repro_exec_seconds", "exec latency", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        hist.observe(0.5)
+        return registry
+
+    def test_snapshot_schema_and_contents(self):
+        snapshot = self._populated().snapshot()
+        assert snapshot["schema"] == METRICS_SCHEMA
+        assert snapshot["counters"] == {"repro_requests_total": 7}
+        assert snapshot["gauges"] == {"repro_cache_entries": 3}
+        hist = snapshot["histograms"]["repro_exec_seconds"]
+        assert hist["count"] == 2
+        assert hist["sum"] == pytest.approx(0.55)
+        assert hist["buckets"] == {"0.1": 1, "1": 2, "+Inf": 2}
+
+    def test_prometheus_rendering(self):
+        text = self._populated().render_prometheus()
+        lines = text.splitlines()
+        assert "# TYPE repro_requests_total counter" in lines
+        assert "repro_requests_total 7" in lines
+        assert "# TYPE repro_cache_entries gauge" in lines
+        assert "repro_cache_entries 3" in lines
+        assert "# TYPE repro_exec_seconds histogram" in lines
+        assert 'repro_exec_seconds_bucket{le="0.1"} 1' in lines
+        assert 'repro_exec_seconds_bucket{le="1"} 2' in lines
+        assert 'repro_exec_seconds_bucket{le="+Inf"} 2' in lines
+        assert "repro_exec_seconds_sum 0.55" in lines
+        assert "repro_exec_seconds_count 2" in lines
+        assert "# HELP repro_requests_total requests" in lines
+        assert text.endswith("\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        snapshot = MetricsRegistry().snapshot()
+        assert snapshot["counters"] == {}
+
+    def test_reset_drops_everything(self):
+        registry = self._populated()
+        registry.reset()
+        assert registry.snapshot()["counters"] == {}
+
+
+class TestGlobalRegistry:
+    def test_is_a_stable_singleton(self):
+        assert global_registry() is global_registry()
+        assert isinstance(global_registry(), MetricsRegistry)

@@ -1,0 +1,223 @@
+"""Sinks, renderers, and the pinned JSONL trace schema."""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    JsonlTraceWriter,
+    RingBufferSink,
+    TraceError,
+    Tracer,
+    aggregate_trace,
+    format_tree,
+    read_trace,
+    validate_trace,
+)
+from repro.obs.sinks import validate_event
+
+GOLDEN = Path(__file__).parent / "golden" / "trace.golden.jsonl"
+
+
+def _counting_clock(step: float):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def _write_reference_trace(path: Path) -> None:
+    """The reference span tree behind the golden file — deterministic
+    because both clocks are injected counters."""
+    with JsonlTraceWriter(path) as writer:
+        tracer = Tracer(
+            sinks=(writer,),
+            wall_clock=_counting_clock(1.0),
+            cpu_clock=_counting_clock(0.5),
+        )
+        with tracer.span("repro.check", file="wind_sensor.sj") as root:
+            root.count("diagnostics", 0)
+            with tracer.span("parse"):
+                pass
+            with tracer.span("check") as check:
+                check.count("methods", 3)
+                with tracer.span("flow_check"):
+                    pass
+
+
+class TestRingBuffer:
+    def test_keeps_roots_only(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=(sink,))
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in sink.roots] == ["root"]
+
+    def test_capacity_drops_oldest(self):
+        sink = RingBufferSink(capacity=2)
+        tracer = Tracer(sinks=(sink,))
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                pass
+        assert [s.name for s in sink.roots] == ["b", "c"]
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        tracer = Tracer(sinks=(sink,))
+        with tracer.span("a"):
+            pass
+        sink.clear()
+        assert sink.roots == []
+
+
+class TestJsonlWriter:
+    def test_one_valid_event_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            tracer = Tracer(sinks=(writer,))
+            with tracer.span("root"):
+                with tracer.span("child"):
+                    pass
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            validate_event(json.loads(line))
+        # children close first; the root is the last event
+        assert json.loads(lines[-1])["parent_id"] is None
+
+    def test_appends_across_writers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        for _ in range(2):
+            with JsonlTraceWriter(path) as writer:
+                tracer = Tracer(sinks=(writer,))
+                with tracer.span("run"):
+                    pass
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_concurrent_writes_never_interleave_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(path) as writer:
+            tracer = Tracer(sinks=(writer,))
+
+            def work():
+                for _ in range(50):
+                    with tracer.span("w", payload="x" * 200):
+                        pass
+
+            threads = [threading.Thread(target=work) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        events = read_trace(path)  # raises if any line is torn
+        assert len(events) == 200
+
+    def test_emit_after_close_is_a_noop(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        writer = JsonlTraceWriter(path)
+        tracer = Tracer(sinks=(writer,))
+        writer.close()
+        with tracer.span("late"):
+            pass
+        assert path.read_text() == ""
+
+
+class TestFormatTree:
+    def test_percentages_relative_to_root(self):
+        tracer = Tracer(
+            wall_clock=_counting_clock(1.0), cpu_clock=_counting_clock(0.5)
+        )
+        with tracer.span("root") as root:
+            with tracer.span("child"):
+                pass
+        rendered = format_tree(root)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("root")
+        assert "100.0%" in lines[0]
+        assert "└─ child" in lines[1]
+        # child: 1 tick of a 3-tick root
+        assert "33.3%" in lines[1]
+
+    def test_attrs_and_counters_rendered(self):
+        tracer = Tracer()
+        with tracer.span("root", file="x.sj") as root:
+            root.count("steps", 7)
+        rendered = format_tree(root)
+        assert "file=x.sj" in rendered
+        assert "steps=7" in rendered
+
+
+class TestTraceValidation:
+    def test_reference_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        events = validate_trace(path)
+        assert len(events) == 4
+        by_name = {event["name"]: event for event in events}
+        assert by_name["repro.check"]["parent_id"] is None
+        assert by_name["flow_check"]["parent_id"] == by_name["check"]["span_id"]
+
+    def test_golden_trace_is_byte_stable(self, tmp_path):
+        """Pins the JSONL wire schema documented in
+        docs/OBSERVABILITY.md: key set, key order, value encoding."""
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        assert path.read_bytes() == GOLDEN.read_bytes()
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(TraceError, match="no span events"):
+            validate_trace(path)
+
+    def test_unrooted_trace_rejected(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        _write_reference_trace(path)
+        events = read_trace(path)
+        # drop the root: simulates a run killed mid-span
+        torn = [e for e in events if e["parent_id"] is not None]
+        path.write_text(
+            "\n".join(json.dumps(e) for e in torn) + "\n"
+        )
+        with pytest.raises(TraceError, match="no closed root span"):
+            validate_trace(path)
+
+    def test_invalid_json_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json\n")
+        with pytest.raises(TraceError, match="invalid JSON"):
+            read_trace(path)
+
+    def test_missing_keys_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"schema": 1, "event": "span"}) + "\n")
+        with pytest.raises(TraceError, match="missing keys"):
+            read_trace(path)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(TraceError, match="unsupported trace schema"):
+            validate_event({
+                "schema": 999, "event": "span", "trace_id": "t1",
+                "span_id": 1, "parent_id": None, "name": "x",
+                "start_seconds": 0, "duration_seconds": 0,
+                "cpu_seconds": 0, "attrs": {}, "counters": {},
+            })
+
+
+class TestAggregate:
+    def test_sums_by_name_sorted_by_wall(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        _write_reference_trace(path)  # appends a second identical tree
+        rows = aggregate_trace(read_trace(path))
+        assert rows[0]["name"] == "repro.check"  # widest span first
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["parse"]["count"] == 2
+        assert by_name["check"]["counters"] == {"methods": 6}
+        assert by_name["parse"]["mean_seconds"] == pytest.approx(
+            by_name["parse"]["wall_seconds"] / 2
+        )

@@ -69,10 +69,20 @@ class TestBatch:
         ]) == 0
         out = capsys.readouterr().out
         lines = out.strip().splitlines()
-        assert len(lines) == 7  # six files + summary
-        assert all("pass" in line for line in lines[:-1])
-        assert all("ms" in line for line in lines[:-1])
-        assert "6/6 self-stabilizing" in lines[-1]
+        assert len(lines) == 8  # six files + summary + cache stats
+        assert all("pass" in line for line in lines[:6])
+        assert all("ms" in line for line in lines[:6])
+        assert "6/6 self-stabilizing" in lines[-2]
+        assert lines[-1].startswith("// cache:")
+        assert "6 stores" in lines[-1]
+
+    def test_warm_batch_reports_cache_hits(self, tmp_path, capsys):
+        assert main(["batch", PROGRAMS, "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["batch", PROGRAMS, "--cache-dir", str(tmp_path)]) == 0
+        cache_line = capsys.readouterr().out.strip().splitlines()[-1]
+        assert "6 disk hits" in cache_line or "6 memory hits" in cache_line
+        assert "0 misses" in cache_line
 
     def test_second_run_hits_cache(self, tmp_path, capsys):
         assert main(["batch", PROGRAMS, "--cache-dir", str(tmp_path)]) == 0
