@@ -14,7 +14,9 @@ from repro.apps import app_device_factory, load_app
 from repro.runtime import Interpreter, RuntimeOptions
 from repro.runtime.compiler import CompiledRunner
 
-from .conftest import write_result
+from repro.obs.bench import scenario_result_from_samples
+
+from .conftest import write_bench_results, write_result
 
 FRAMES = 40
 
@@ -42,16 +44,17 @@ def test_backend_compiled(benchmark):
 def test_backend_speedup_report(benchmark):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
-    def best_of(backend, rounds=3) -> float:
+    def sample(backend, rounds=3) -> list[float]:
         times = []
         for _ in range(rounds):
             start = time.perf_counter()
             decode_with(backend)
             times.append(time.perf_counter() - start)
-        return min(times)
+        return times
 
-    interp = best_of(Interpreter)
-    compiled = best_of(CompiledRunner)
+    interp_times = sample(Interpreter)
+    compiled_times = sample(CompiledRunner)
+    interp, compiled = min(interp_times), min(compiled_times)
     lines = [
         "Execution backends on the MP3 decoder "
         f"({FRAMES} frames, best of 3):",
@@ -60,4 +63,14 @@ def test_backend_speedup_report(benchmark):
         f"  speedup: {interp / compiled:.2f}x",
     ]
     write_result("backend_comparison.txt", "\n".join(lines))
+    write_bench_results("backend_comparison", [
+        scenario_result_from_samples(
+            "paper/backend_interpreter", "interpreter-step", interp_times,
+            counters={"frames": FRAMES},
+        ),
+        scenario_result_from_samples(
+            "paper/backend_compiled", "interpreter-step", compiled_times,
+            counters={"frames": FRAMES},
+        ),
+    ])
     assert compiled <= interp * 1.2

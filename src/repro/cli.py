@@ -19,7 +19,11 @@ Subcommands mirror the workflow of the paper's tool:
 * ``repro serve``           — long-lived checking daemon on a Unix
   socket, speaking newline-delimited JSON;
 * ``repro metrics``         — render an observability snapshot from a
-  JSONL trace file or a running daemon.
+  JSONL trace file or a running daemon;
+* ``repro bench``           — run the declarative benchmark suite and
+  write a schema-versioned ``BENCH_*.json`` (``--compare`` is the
+  regression gate, ``--report`` a self-time table over a JSONL trace;
+  see ``docs/BENCHMARKS.md``).
 
 ``check``/``infer``/``batch``/``campaign`` accept ``--trace FILE`` (write
 a JSON-lines trace of every span) and ``--profile`` (print the span tree
@@ -56,9 +60,11 @@ from repro.obs import (
     TraceError,
     Tracer,
     aggregate_trace,
+    format_aggregate_table,
     format_tree,
     get_tracer,
     installed_tracer,
+    trace_root_seconds,
     validate_trace,
 )
 from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
@@ -422,16 +428,7 @@ def cmd_metrics(args: argparse.Namespace) -> int:
             print(json.dumps({"events": len(events), "spans": rows}))
             return 0
         print(f"// {len(events)} span events in {args.trace}")
-        print(f"{'span':<24} {'count':>6} {'wall':>10} {'mean':>10}  counters")
-        for row in rows:
-            counters = ", ".join(
-                f"{key}={value}" for key, value in sorted(row["counters"].items())
-            )
-            print(
-                f"{row['name']:<24} {row['count']:6d} "
-                f"{row['wall_seconds'] * 1000:8.2f}ms "
-                f"{row['mean_seconds'] * 1000:8.2f}ms  {counters}"
-            )
+        print(format_aggregate_table(rows))
         return 0
     from repro.service.client import ReproClient, ServiceError
 
@@ -452,10 +449,101 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     for name, value in sorted(snapshot["gauges"].items()):
         print(f"{name:<40} {value}")
     for name, hist in sorted(snapshot["histograms"].items()):
+        # p50/p95/p99 are bucket-interpolated *estimates* (snapshot
+        # schema >= 2); older daemons simply don't report them.
+        quantiles = "".join(
+            f" {key}={hist[key]:.6f}"
+            for key in ("p50", "p95", "p99")
+            if hist.get(key) is not None
+        )
         print(
             f"{name:<40} count={hist['count']} sum={hist['sum']:.6f}"
+            f"{quantiles}"
         )
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        BenchError,
+        bench_payload,
+        compare_benchmarks,
+        format_bench_table,
+        format_comparison,
+        get_scenario,
+        read_bench,
+        run_scenarios,
+        scenario_names,
+        write_bench,
+    )
+
+    try:
+        if args.report is not None:
+            if args.compare or args.against:
+                print("error: --report does not combine with --compare",
+                      file=sys.stderr)
+                return 2
+            try:
+                events = validate_trace(args.report)
+            except TraceError as exc:
+                print(f"error: invalid trace: {exc}", file=sys.stderr)
+                return 2
+            rows = aggregate_trace(events)
+            total = trace_root_seconds(events)
+            print(f"// {len(events)} span events in {args.report}, "
+                  f"root wall {total * 1000:.2f}ms")
+            print(format_aggregate_table(rows, total_seconds=total))
+            return 0
+        if args.against is not None:
+            if args.compare is None:
+                print("error: --against needs --compare OLD.json",
+                      file=sys.stderr)
+                return 2
+            comparison = compare_benchmarks(
+                read_bench(args.compare), read_bench(args.against),
+                args.threshold,
+            )
+            print(format_comparison(comparison))
+            return 0 if comparison["ok"] else 1
+        if args.list:
+            for name in scenario_names(args.suite):
+                scenario = get_scenario(name)
+                print(f"{name:<32} kind={scenario.kind:<17} "
+                      f"suites={','.join(scenario.suites)}")
+            return 0
+        names = args.scenario or scenario_names(args.suite)
+        for name in names:
+            get_scenario(name)  # fail fast on typos, before any timing
+        with _observed(args, "repro.bench", suite=args.suite,
+                       scenarios=len(names)):
+            results = run_scenarios(
+                names,
+                warmup=args.warmup,
+                repetitions=args.repetitions,
+                progress=lambda line: print(f"// {line}", file=sys.stderr),
+            )
+        payload = bench_payload(
+            results,
+            suite=None if args.scenario else args.suite,
+            warmup=args.warmup,
+            repetitions=args.repetitions,
+        )
+        out_path = write_bench(payload, args.output)
+        if args.json:
+            print(protocol.dumps(protocol.bench_payload(payload)))
+        else:
+            print(format_bench_table(payload))
+        print(f"// bench written to {out_path}", file=sys.stderr)
+        if args.compare is not None:
+            comparison = compare_benchmarks(
+                read_bench(args.compare), payload, args.threshold
+            )
+            print(format_comparison(comparison))
+            return 0 if comparison["ok"] else 1
+        return 0
+    except BenchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -596,6 +684,42 @@ def build_parser() -> argparse.ArgumentParser:
                          default="text",
                          help="output format (prometheus needs --socket)")
     metrics.set_defaults(func=cmd_metrics)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the benchmark suite, compare runs, or report a trace",
+    )
+    bench.add_argument("--suite", choices=("small", "full"), default="small",
+                       help="scenario suite to run (default: small)")
+    bench.add_argument("--scenario", action="append", metavar="NAME",
+                       help="run only this scenario (repeatable; overrides "
+                            "--suite)")
+    bench.add_argument("--list", action="store_true",
+                       help="list the suite's scenarios and exit")
+    bench.add_argument("--warmup", type=int, default=1,
+                       help="untimed runs per scenario (default: 1)")
+    bench.add_argument("--repetitions", type=int, default=5,
+                       help="timed runs per scenario (default: 5)")
+    bench.add_argument("--output", metavar="FILE", default=None,
+                       help="write the bench JSON here (default: "
+                            "BENCH_<UTCSTAMP>.json in the current "
+                            "directory)")
+    bench.add_argument("--compare", metavar="OLD.json", default=None,
+                       help="compare against this baseline after running; "
+                            "exit 1 on regressions or missing scenarios")
+    bench.add_argument("--against", metavar="NEW.json", default=None,
+                       help="with --compare: skip running and compare the "
+                            "two existing bench files instead")
+    bench.add_argument("--threshold", type=float, default=10.0,
+                       help="median shift percentage counted as a "
+                            "regression when outside noise (default: 10)")
+    bench.add_argument("--report", metavar="TRACE.jsonl", default=None,
+                       help="print a flamegraph-style self-time table for "
+                            "an existing JSONL trace instead of running")
+    bench.add_argument("--json", action="store_true",
+                       help="emit the versioned JSON bench payload")
+    _add_obs_arguments(bench)
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -10,16 +10,38 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
   JSON snapshot expositions;
 * **sinks** (:mod:`repro.obs.sinks`) — an in-memory ring buffer, an
   atomic-append JSON-lines trace writer, and a human span-tree
-  renderer.
+  renderer;
+* **bench** (:mod:`repro.obs.bench`) — a declarative benchmark registry
+  and runner over the registered apps, the schema-versioned
+  ``BENCH_*.json`` perf trajectory, and the regression-gate comparator
+  behind ``repro bench --compare`` (see ``docs/BENCHMARKS.md``).
 
 The CLI surfaces all of it: ``--trace FILE`` writes a JSONL trace,
-``--profile`` prints the span tree, and ``repro metrics`` renders a
-snapshot from a trace file or a running daemon.
+``--profile`` prints the span tree, ``repro metrics`` renders a
+snapshot from a trace file or a running daemon, and ``repro bench``
+runs, compares, and reports benchmarks.
 """
 
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchError,
+    Scenario,
+    bench_payload,
+    compare_benchmarks,
+    environment_fingerprint,
+    read_bench,
+    register_scenario,
+    run_scenario,
+    run_scenarios,
+    scenario_names,
+    scenario_result_from_samples,
+    validate_bench,
+    write_bench,
+)
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     METRICS_SCHEMA,
+    SNAPSHOT_QUANTILES,
     Counter,
     Gauge,
     Histogram,
@@ -31,8 +53,10 @@ from repro.obs.sinks import (
     RingBufferSink,
     TraceError,
     aggregate_trace,
+    format_aggregate_table,
     format_tree,
     read_trace,
+    trace_root_seconds,
     validate_trace,
 )
 from repro.obs.trace import (
@@ -50,7 +74,22 @@ from repro.obs.trace import (
 __all__ = [
     "TRACE_SCHEMA",
     "METRICS_SCHEMA",
+    "BENCH_SCHEMA",
     "DEFAULT_TIME_BUCKETS",
+    "SNAPSHOT_QUANTILES",
+    "BenchError",
+    "Scenario",
+    "bench_payload",
+    "compare_benchmarks",
+    "environment_fingerprint",
+    "read_bench",
+    "register_scenario",
+    "run_scenario",
+    "run_scenarios",
+    "scenario_names",
+    "scenario_result_from_samples",
+    "validate_bench",
+    "write_bench",
     "Counter",
     "Gauge",
     "Histogram",
@@ -60,6 +99,8 @@ __all__ = [
     "RingBufferSink",
     "TraceError",
     "aggregate_trace",
+    "format_aggregate_table",
+    "trace_root_seconds",
     "format_tree",
     "read_trace",
     "validate_trace",

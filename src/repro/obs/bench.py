@@ -1,0 +1,668 @@
+"""Benchmark harness, perf trajectory, and regression gate.
+
+Three pieces, all built on the tracing substrate (:mod:`repro.obs.trace`):
+
+* a declarative **scenario registry** — named, kind-tagged operations
+  (``check``/``infer``/``interpreter-step``/``campaign-shard``/
+  ``service-batch``) over the registered apps in
+  :mod:`repro.apps.registry`.  Scenarios build lazily, so importing this
+  module never loads the checker stack;
+* a **runner** with warmup and N timed repetitions producing
+  min/median/mean/stddev per scenario, an environment fingerprint
+  (python, platform, cpu count, git sha) and a schema-versioned
+  ``BENCH_<UTCSTAMP>.json`` payload.  The clock is injectable, so the
+  runner is deterministically testable, and every scenario runs under a
+  ``bench.<name>`` span so ``repro bench --trace`` composes with the
+  rest of the observability surface;
+* a **comparator** flagging statistically meaningful regressions: a
+  median shift is a regression only when it exceeds the threshold *and*
+  the absolute shift exceeds the combined noise (old + new stddev), so
+  a noisy scenario cannot trip the gate on jitter alone.
+
+The JSON schema, the scenario registry, and the CI gate built on
+``repro bench --compare`` are documented in ``docs/BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+from repro.obs.trace import get_tracer
+
+#: Bump when the BENCH_*.json payload layout changes.
+BENCH_SCHEMA = 1
+
+#: Scenario kinds (the ``kind`` field of a scenario result).
+KIND_CHECK = "check"
+KIND_INFER = "infer"
+KIND_INTERPRETER = "interpreter-step"
+KIND_CAMPAIGN = "campaign-shard"
+KIND_SERVICE = "service-batch"
+
+KINDS = (KIND_CHECK, KIND_INFER, KIND_INTERPRETER, KIND_CAMPAIGN,
+         KIND_SERVICE)
+
+#: Suites a scenario can belong to.  ``small`` is the CI smoke suite;
+#: ``full`` is every registered scenario.
+SUITES = ("small", "full")
+
+#: Comparison statuses (the ``status`` field of a comparison row).
+REGRESSION = "regression"
+IMPROVEMENT = "improvement"
+WITHIN_NOISE = "within-noise"
+MISSING = "missing"
+ADDED = "added"
+
+#: Trials one ``campaign-shard`` scenario repetition runs.
+SHARD_TRIALS = 4
+
+
+class BenchError(ValueError):
+    """A bench payload violated the documented schema, or a scenario
+    name did not resolve against the registry."""
+
+
+# ---------------------------------------------------------------------------
+# Scenario registry
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named, timed operation.
+
+    ``build()`` runs once per scenario (untimed) and returns the op the
+    runner times; the op may return a dict of counters recorded on the
+    scenario result (steps, diagnostics, files…).  Keeping the heavy
+    imports inside ``build`` means the registry itself is free to
+    construct.
+    """
+
+    name: str
+    kind: str
+    suites: tuple[str, ...]
+    build: Callable[[], Callable[[], Optional[dict]]]
+
+
+_REGISTRY: dict[str, Scenario] = {}
+_BUILTIN_READY = False
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Add one scenario to the registry (idempotent per name)."""
+    if scenario.kind not in KINDS:
+        raise BenchError(
+            f"unknown scenario kind {scenario.kind!r}; expected one of "
+            f"{KINDS}"
+        )
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def _check_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.apps.registry import app_source
+        from repro.service.pool import timed_check
+
+        source = app_source(app)
+
+        def op() -> dict:
+            # timed_check opens parse/resolve/typecheck/check spans, so
+            # the per-repetition trace shows the same phases the
+            # service reports.
+            report, _ = timed_check(source)
+            return {"diagnostics": len(report.diagnostics)}
+
+        return op
+
+    return Scenario(f"check/{app}", KIND_CHECK, suites, build)
+
+
+def _infer_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.apps.registry import app_source
+        from repro.infer import infer_annotations
+        from repro.lang import (
+            parse_program,
+            resolve_program,
+            typecheck_program,
+        )
+
+        source = app_source(app, annotated=False)
+
+        def op() -> dict:
+            info = resolve_program(parse_program(source))
+            typecheck_program(info)
+            result = infer_annotations(info, mode="sinfer", verify=False)
+            return {"locations": result.summary.total_locations}
+
+        return op
+
+    return Scenario(f"infer/{app}", KIND_INFER, suites, build)
+
+
+def _interpreter_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.apps.registry import app_device_factory, load_app
+        from repro.runtime import Interpreter, RuntimeOptions
+
+        bundle = load_app(app)
+        factory = app_device_factory(app)
+
+        def op() -> dict:
+            interp = Interpreter(
+                bundle.info,
+                factory(),
+                options=RuntimeOptions(ignore_errors=True),
+            )
+            outputs = interp.run()
+            return {"steps": interp.steps, "outputs": len(outputs)}
+
+        return op
+
+    return Scenario(f"interpreter-step/{app}", KIND_INTERPRETER, suites, build)
+
+
+def _campaign_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.apps.registry import app_experiment
+
+        experiment = app_experiment(app, step_budget_factor=64)
+
+        def op() -> dict:
+            trials = experiment.run_trials(SHARD_TRIALS, seed=0)
+            return {
+                "trials": len(trials),
+                "diverged": sum(1 for t in trials if t.diverged),
+            }
+
+        return op
+
+    return Scenario(f"campaign-shard/{app}", KIND_CAMPAIGN, suites, build)
+
+
+def _service_batch_scenario(suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.apps.registry import programs_dir
+        from repro.service.pool import CheckerPool
+
+        paths = sorted(programs_dir().glob("*.sj"))
+
+        def op() -> dict:
+            # A fresh uncached in-process pool per repetition: the cost
+            # measured is the batch front end itself, not cache luck.
+            results = CheckerPool(max_workers=1, cache=None).check_paths(
+                paths
+            )
+            return {
+                "files": len(results),
+                "passed": sum(1 for r in results if r.ok),
+            }
+
+        return op
+
+    return Scenario("service-batch/apps", KIND_SERVICE, suites, build)
+
+
+def _ensure_builtin() -> None:
+    """Populate the registry with the built-in app scenarios, lazily —
+    this touches :mod:`repro.apps`, which must not load at import."""
+    global _BUILTIN_READY
+    if _BUILTIN_READY:
+        return
+    _BUILTIN_READY = True
+    from repro.apps.registry import APP_NAMES
+
+    small_app = "wind_sensor"
+    for app in APP_NAMES:
+        suites = ("small", "full") if app == small_app else ("full",)
+        register_scenario(_check_scenario(app, suites))
+        register_scenario(_infer_scenario(app, suites))
+        register_scenario(_interpreter_scenario(app, suites))
+        register_scenario(_campaign_scenario(app, suites))
+    register_scenario(_service_batch_scenario(("small", "full")))
+
+
+def scenario_names(suite: str = "full") -> list[str]:
+    """Registered scenario names belonging to ``suite``, sorted."""
+    _ensure_builtin()
+    if suite not in SUITES:
+        raise BenchError(f"unknown suite {suite!r}; expected one of {SUITES}")
+    return sorted(
+        name for name, sc in _REGISTRY.items() if suite in sc.suites
+    )
+
+
+def get_scenario(name: str) -> Scenario:
+    _ensure_builtin()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        available = ", ".join(sorted(_REGISTRY))
+        raise BenchError(
+            f"unknown scenario {name!r}; available: {available}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def _stats(samples: Sequence[float]) -> dict:
+    return {
+        "min_seconds": min(samples),
+        "median_seconds": statistics.median(samples),
+        "mean_seconds": statistics.fmean(samples),
+        "stddev_seconds": (
+            statistics.stdev(samples) if len(samples) > 1 else 0.0
+        ),
+    }
+
+
+def scenario_result_from_samples(
+    name: str,
+    kind: str,
+    samples: Sequence[float],
+    *,
+    counters: Optional[dict] = None,
+    warmup: int = 0,
+) -> dict:
+    """A scenario result from externally measured samples — how the
+    paper-figure suites under ``benchmarks/`` feed their
+    pytest-benchmark timings into the same JSON schema."""
+    if kind not in KINDS:
+        raise BenchError(f"unknown scenario kind {kind!r}")
+    samples = [float(s) for s in samples]
+    if not samples:
+        raise BenchError(f"scenario {name!r}: no samples")
+    return {
+        "name": name,
+        "kind": kind,
+        "warmup": warmup,
+        "repetitions": len(samples),
+        "samples_seconds": samples,
+        "counters": {
+            k: float(v) for k, v in sorted((counters or {}).items())
+        },
+        **_stats(samples),
+    }
+
+
+def run_scenario(
+    scenario: Scenario | str,
+    *,
+    warmup: int = 1,
+    repetitions: int = 5,
+    clock: Callable[[], float] = time.perf_counter,
+) -> dict:
+    """Build and time one scenario: ``warmup`` untimed runs, then
+    ``repetitions`` timed ones.  The whole scenario runs under a root
+    ``bench.<name>`` span (one ``repetition`` child per timed run), so
+    ``--trace`` shows exactly what was measured."""
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if repetitions < 1:
+        raise BenchError("repetitions must be >= 1")
+    tracer = get_tracer()
+    samples: list[float] = []
+    counters: dict = {}
+    with tracer.span(f"bench.{scenario.name}", kind=scenario.kind) as root:
+        op = scenario.build()
+        for _ in range(max(0, warmup)):
+            with tracer.span("warmup"):
+                op()
+        for index in range(repetitions):
+            with tracer.span("repetition", index=index):
+                start = clock()
+                returned = op()
+                samples.append(clock() - start)
+            if returned:
+                counters = {k: float(v) for k, v in sorted(returned.items())}
+        root.count("repetitions", repetitions)
+    return {
+        "name": scenario.name,
+        "kind": scenario.kind,
+        "warmup": max(0, warmup),
+        "repetitions": repetitions,
+        "samples_seconds": samples,
+        "counters": counters,
+        **_stats(samples),
+    }
+
+
+def run_scenarios(
+    scenarios: Sequence[Scenario | str],
+    *,
+    warmup: int = 1,
+    repetitions: int = 5,
+    clock: Callable[[], float] = time.perf_counter,
+    progress: Optional[Callable[[str], None]] = None,
+) -> list[dict]:
+    """Run every scenario in order; results keep the given order."""
+    results: list[dict] = []
+    for scenario in scenarios:
+        name = scenario if isinstance(scenario, str) else scenario.name
+        if progress is not None:
+            progress(f"bench: {name}")
+        results.append(
+            run_scenario(
+                scenario, warmup=warmup, repetitions=repetitions, clock=clock
+            )
+        )
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Environment fingerprint and payload
+# ---------------------------------------------------------------------------
+
+
+def _git_sha() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment_fingerprint() -> dict:
+    """Where a bench payload was measured — enough to judge whether two
+    payloads are comparable at all."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
+def utc_now() -> str:
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+
+
+def bench_payload(
+    results: Sequence[dict],
+    *,
+    suite: Optional[str],
+    warmup: int,
+    repetitions: int,
+    fingerprint: Optional[dict] = None,
+    created_utc: Optional[str] = None,
+) -> dict:
+    """The schema-versioned JSON form of one bench run."""
+    return {
+        "schema": BENCH_SCHEMA,
+        "kind": "bench",
+        "created_utc": created_utc if created_utc is not None else utc_now(),
+        "suite": suite,
+        "warmup": warmup,
+        "repetitions": repetitions,
+        "fingerprint": (
+            fingerprint if fingerprint is not None
+            else environment_fingerprint()
+        ),
+        "scenarios": list(results),
+    }
+
+
+_FINGERPRINT_KEYS = (
+    "python", "implementation", "platform", "machine", "cpu_count", "git_sha",
+)
+
+_SCENARIO_NUMBER_KEYS = (
+    "min_seconds", "median_seconds", "mean_seconds", "stddev_seconds",
+)
+
+
+def validate_bench(payload: dict) -> dict:
+    """Raise :class:`BenchError` unless ``payload`` is a well-formed
+    bench document (the schema in ``docs/BENCHMARKS.md``); returns it."""
+    if not isinstance(payload, dict):
+        raise BenchError("bench payload must be a JSON object")
+    if payload.get("schema") != BENCH_SCHEMA:
+        raise BenchError(
+            f"unsupported bench schema {payload.get('schema')!r} "
+            f"(speaking {BENCH_SCHEMA})"
+        )
+    if payload.get("kind") != "bench":
+        raise BenchError(f"unknown bench kind {payload.get('kind')!r}")
+    if not isinstance(payload.get("created_utc"), str):
+        raise BenchError("created_utc must be a string")
+    fingerprint = payload.get("fingerprint")
+    if not isinstance(fingerprint, dict):
+        raise BenchError("fingerprint must be an object")
+    missing = [key for key in _FINGERPRINT_KEYS if key not in fingerprint]
+    if missing:
+        raise BenchError(f"fingerprint missing keys {missing}")
+    scenarios = payload.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        raise BenchError("scenarios must be a non-empty list")
+    seen: set[str] = set()
+    for entry in scenarios:
+        if not isinstance(entry, dict):
+            raise BenchError("each scenario must be an object")
+        name = entry.get("name")
+        if not isinstance(name, str) or not name:
+            raise BenchError("scenario needs a non-empty name")
+        if name in seen:
+            raise BenchError(f"duplicate scenario {name!r}")
+        seen.add(name)
+        if entry.get("kind") not in KINDS:
+            raise BenchError(
+                f"scenario {name!r}: unknown kind {entry.get('kind')!r}"
+            )
+        samples = entry.get("samples_seconds")
+        if (
+            not isinstance(samples, list)
+            or not samples
+            or not all(isinstance(s, (int, float)) for s in samples)
+        ):
+            raise BenchError(
+                f"scenario {name!r}: samples_seconds must be a non-empty "
+                f"list of numbers"
+            )
+        if entry.get("repetitions") != len(samples):
+            raise BenchError(
+                f"scenario {name!r}: repetitions must equal "
+                f"len(samples_seconds)"
+            )
+        for key in _SCENARIO_NUMBER_KEYS:
+            if not isinstance(entry.get(key), (int, float)):
+                raise BenchError(f"scenario {name!r}: {key} must be a number")
+        if not isinstance(entry.get("counters"), dict):
+            raise BenchError(f"scenario {name!r}: counters must be an object")
+    return payload
+
+
+def read_bench(path: str | Path) -> dict:
+    """Parse and validate one BENCH json file."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BenchError(f"{path}: invalid JSON: {exc}") from exc
+    try:
+        return validate_bench(payload)
+    except BenchError as exc:
+        raise BenchError(f"{path}: {exc}") from exc
+
+
+def dumps_bench(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def write_bench(payload: dict, path: str | Path | None = None) -> Path:
+    """Write ``payload`` to ``path``, defaulting to
+    ``BENCH_<UTCSTAMP>.json`` in the current directory so the perf
+    trajectory accumulates at the repo root across runs."""
+    if path is None:
+        stamp = payload["created_utc"].replace("-", "").replace(":", "")
+        path = Path.cwd() / f"BENCH_{stamp}.json"
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_bench(payload), encoding="utf-8")
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Comparator — the regression gate
+# ---------------------------------------------------------------------------
+
+
+def compare_benchmarks(
+    old: dict, new: dict, threshold_pct: float = 10.0
+) -> dict:
+    """Compare two bench payloads scenario by scenario.
+
+    A median shift is *meaningful* only when its magnitude exceeds the
+    combined sample noise (``stddev_old + stddev_new``); a meaningful
+    shift beyond ``threshold_pct`` is a regression (slower) or an
+    improvement (faster), anything else is within noise.  Scenarios the
+    baseline has but the new run lacks are ``missing`` — the gate fails
+    on them, because silently dropping coverage must not pass.
+    """
+    validate_bench(old)
+    validate_bench(new)
+    if threshold_pct < 0:
+        raise BenchError("threshold_pct must be >= 0")
+    old_by = {s["name"]: s for s in old["scenarios"]}
+    new_by = {s["name"]: s for s in new["scenarios"]}
+    rows: list[dict] = []
+    for name in sorted(old_by):
+        old_s = old_by[name]
+        row = {
+            "name": name,
+            "old_median_seconds": old_s["median_seconds"],
+            "new_median_seconds": None,
+            "delta_pct": None,
+            "noise_seconds": None,
+            "status": MISSING,
+        }
+        new_s = new_by.get(name)
+        if new_s is not None:
+            old_med = float(old_s["median_seconds"])
+            new_med = float(new_s["median_seconds"])
+            noise = float(old_s["stddev_seconds"]) + float(
+                new_s["stddev_seconds"]
+            )
+            meaningful = abs(new_med - old_med) > noise
+            delta_pct = (
+                (new_med - old_med) / old_med * 100.0 if old_med > 0 else None
+            )
+            if delta_pct is None:
+                # degenerate zero baseline: any meaningful time is slower
+                status = REGRESSION if (meaningful and new_med > 0) \
+                    else WITHIN_NOISE
+            elif meaningful and delta_pct > threshold_pct:
+                status = REGRESSION
+            elif meaningful and delta_pct < -threshold_pct:
+                status = IMPROVEMENT
+            else:
+                status = WITHIN_NOISE
+            row.update(
+                new_median_seconds=new_med,
+                delta_pct=delta_pct,
+                noise_seconds=noise,
+                status=status,
+            )
+        rows.append(row)
+    for name in sorted(set(new_by) - set(old_by)):
+        rows.append({
+            "name": name,
+            "old_median_seconds": None,
+            "new_median_seconds": new_by[name]["median_seconds"],
+            "delta_pct": None,
+            "noise_seconds": None,
+            "status": ADDED,
+        })
+    regressions = [r["name"] for r in rows if r["status"] == REGRESSION]
+    improvements = [r["name"] for r in rows if r["status"] == IMPROVEMENT]
+    missing = [r["name"] for r in rows if r["status"] == MISSING]
+    return {
+        "threshold_pct": float(threshold_pct),
+        "rows": rows,
+        "regressions": regressions,
+        "improvements": improvements,
+        "missing": missing,
+        "added": [r["name"] for r in rows if r["status"] == ADDED],
+        "ok": not regressions and not missing,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def _ms(seconds: Optional[float]) -> str:
+    return "        -" if seconds is None else f"{seconds * 1000.0:9.2f}"
+
+
+def format_bench_table(payload: dict) -> str:
+    """Human rendering of one bench payload, deterministic layout."""
+    scenarios = payload["scenarios"]
+    width = max([len("scenario")] + [len(s["name"]) for s in scenarios])
+    lines = [
+        f"{'scenario':<{width}} {'reps':>4} {'min ms':>9} {'median ms':>9} "
+        f"{'mean ms':>9} {'stddev ms':>9}  counters"
+    ]
+    for entry in scenarios:
+        counters = ", ".join(
+            f"{key}={_render_count(value)}"
+            for key, value in sorted(entry["counters"].items())
+        )
+        lines.append(
+            f"{entry['name']:<{width}} {entry['repetitions']:4d} "
+            f"{_ms(entry['min_seconds'])} {_ms(entry['median_seconds'])} "
+            f"{_ms(entry['mean_seconds'])} {_ms(entry['stddev_seconds'])}"
+            f"  {counters}"
+        )
+    return "\n".join(lines)
+
+
+def _render_count(value: float) -> str:
+    return str(int(value)) if value == int(value) else f"{value:.6g}"
+
+
+def format_comparison(comparison: dict) -> str:
+    """Human rendering of one comparison, deterministic layout."""
+    rows = comparison["rows"]
+    width = max([len("scenario")] + [len(r["name"]) for r in rows])
+    lines = [
+        f"{'scenario':<{width}} {'old ms':>9} {'new ms':>9} {'delta':>8}  "
+        f"status"
+    ]
+    for row in rows:
+        delta = (
+            f"{row['delta_pct']:+7.1f}%" if row["delta_pct"] is not None
+            else "       -"
+        )
+        lines.append(
+            f"{row['name']:<{width}} {_ms(row['old_median_seconds'])} "
+            f"{_ms(row['new_median_seconds'])} {delta}  {row['status']}"
+        )
+    lines.append(
+        f"// threshold ±{comparison['threshold_pct']:g}%: "
+        f"{len(comparison['regressions'])} regression(s), "
+        f"{len(comparison['improvements'])} improvement(s), "
+        f"{len(comparison['missing'])} missing, "
+        f"{len(comparison['added'])} added"
+    )
+    return "\n".join(lines)

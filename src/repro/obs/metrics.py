@@ -22,8 +22,12 @@ import re
 import threading
 from typing import Optional, Sequence
 
-#: Bump when the snapshot layout changes.
-METRICS_SCHEMA = 1
+#: Bump when the snapshot layout changes.  2 added estimated p50/p95/p99
+#: quantiles to every histogram entry.
+METRICS_SCHEMA = 2
+
+#: The quantiles every histogram snapshot estimates.
+SNAPSHOT_QUANTILES = (0.50, 0.95, 0.99)
 
 #: Latency buckets (seconds) suited to checker phases and pool tasks:
 #: sub-millisecond cache hits up to multi-second campaign shards.
@@ -132,6 +136,42 @@ class Histogram:
         out.append(("+Inf", running + self._counts[-1]))
         return out
 
+    def quantile(self, q: float) -> Optional[float]:
+        """*Estimated* value at quantile ``q`` in [0, 1].
+
+        Linear interpolation inside the cumulative bucket holding the
+        target rank — the standard Prometheus ``histogram_quantile``
+        estimate, accurate to bucket resolution, not to the raw
+        observations (which are never stored).  Observations beyond the
+        last boundary clamp to it.  ``None`` until something is
+        observed.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0.0
+        lower = 0.0
+        for boundary, count in zip(self.boundaries, counts):
+            if count > 0 and cumulative + count >= target:
+                fraction = max(0.0, target - cumulative) / count
+                return lower + fraction * (boundary - lower)
+            cumulative += count
+            lower = boundary
+        # target rank sits in the open +Inf bucket: the top boundary is
+        # the best (under-)estimate available.
+        return self.boundaries[-1]
+
+    def quantiles(self) -> dict[str, Optional[float]]:
+        """The snapshot quantile estimates, keyed ``p50``/``p95``/``p99``."""
+        return {
+            f"p{int(q * 100)}": self.quantile(q) for q in SNAPSHOT_QUANTILES
+        }
+
 
 def format_bound(bound: float) -> str:
     """Prometheus-style bucket label: no trailing zeros, no exponent."""
@@ -222,6 +262,8 @@ class MetricsRegistry:
                     },
                     "sum": metric.sum,
                     "count": metric.count,
+                    # bucket-interpolated estimates, see Histogram.quantile
+                    **metric.quantiles(),
                 }
         return {
             "schema": METRICS_SCHEMA,

@@ -229,25 +229,113 @@ def validate_trace(path: str | Path) -> list[dict]:
 
 
 def aggregate_trace(events: Iterable[dict]) -> list[dict]:
-    """Per-span-name aggregates for ``repro metrics --trace``: count,
-    total/mean wall seconds, total CPU seconds, summed counters."""
+    """Per-span-name aggregates for ``repro metrics --trace`` and
+    ``repro bench --report``: count, total/mean wall seconds, *exclusive*
+    (self) wall seconds, total CPU seconds, summed counters.
+
+    Self time is a span's duration minus the summed durations of its
+    direct children — flamegraph-style exclusive time.  Every child
+    second is subtracted from exactly one parent, so the per-name self
+    times of a trace sum to its root spans' wall time.  Rows come back
+    sorted by self time descending, then name, so two runs over the
+    same trace render identically and diff cleanly.
+    """
+    # Appended runs legitimately reuse trace/span ids (each Tracer
+    # numbers from 1), so ids alone don't address a span.  Within one
+    # run every (trace_id, span_id) appears exactly once and children
+    # close — and are written — before their parents, so the k-th
+    # occurrence of an id pair belongs to appended run k; keying the
+    # child-time sums by (trace_id, span_id, occurrence) keeps runs
+    # from stealing each other's child time.
+    seen: dict[tuple[str, int], int] = {}
+    child_wall: dict[tuple[str, int, int], float] = {}
     totals: dict[str, dict] = {}
     for event in events:
+        trace_id, span_id = event["trace_id"], event["span_id"]
+        run = seen.get((trace_id, span_id), 0)
+        seen[(trace_id, span_id)] = run + 1
+        duration = float(event["duration_seconds"])
+        self_seconds = duration - child_wall.pop(
+            (trace_id, span_id, run), 0.0
+        )
+        if event["parent_id"] is not None:
+            parent_key = (trace_id, event["parent_id"], run)
+            child_wall[parent_key] = (
+                child_wall.get(parent_key, 0.0) + duration
+            )
         entry = totals.setdefault(
             event["name"],
             {"name": event["name"], "count": 0, "wall_seconds": 0.0,
-             "cpu_seconds": 0.0, "counters": {}},
+             "self_seconds": 0.0, "cpu_seconds": 0.0, "counters": {}},
         )
         entry["count"] += 1
-        entry["wall_seconds"] += float(event["duration_seconds"])
+        entry["wall_seconds"] += duration
+        entry["self_seconds"] += self_seconds
         entry["cpu_seconds"] += float(event["cpu_seconds"])
         for key, value in event["counters"].items():
             entry["counters"][key] = entry["counters"].get(key, 0) + value
     out = sorted(
-        totals.values(), key=lambda e: e["wall_seconds"], reverse=True
+        totals.values(), key=lambda e: (-e["self_seconds"], e["name"])
     )
     for entry in out:
         entry["mean_seconds"] = (
             entry["wall_seconds"] / entry["count"] if entry["count"] else 0.0
         )
     return out
+
+
+def trace_root_seconds(events: Iterable[dict]) -> float:
+    """Summed wall time of every root span — the total a trace's
+    per-name self times account for."""
+    return sum(
+        float(event["duration_seconds"])
+        for event in events
+        if event["parent_id"] is None
+    )
+
+
+def format_aggregate_table(
+    rows: list[dict], *, total_seconds: Optional[float] = None
+) -> str:
+    """Deterministic table rendering of :func:`aggregate_trace` rows.
+
+    The name/count columns size to their content and every time column
+    is fixed-width, so the same trace always renders byte-identically
+    and two renderings diff cleanly.  ``total_seconds`` (usually
+    :func:`trace_root_seconds`) turns on the ``self%`` column.
+    """
+    name_width = max([len("span")] + [len(row["name"]) for row in rows])
+    count_width = max(
+        [len("count")] + [len(str(row["count"])) for row in rows]
+    )
+    pct_header = f" {'self%':>6}" if total_seconds is not None else ""
+    lines = [
+        f"{'span':<{name_width}} {'count':>{count_width}} "
+        f"{'self ms':>10}{pct_header} {'wall ms':>10} {'mean ms':>10}"
+        f"  counters"
+    ]
+    for row in rows:
+        if total_seconds is not None:
+            if total_seconds > 0:
+                pct = f" {100.0 * row['self_seconds'] / total_seconds:5.1f}%"
+            else:
+                pct = f" {'-':>6}"
+        else:
+            pct = ""
+        counters = ", ".join(
+            f"{key}={_render_counter(value)}"
+            for key, value in sorted(row["counters"].items())
+        )
+        lines.append(
+            f"{row['name']:<{name_width}} {row['count']:>{count_width}} "
+            f"{row['self_seconds'] * 1000.0:10.2f}{pct} "
+            f"{row['wall_seconds'] * 1000.0:10.2f} "
+            f"{row['mean_seconds'] * 1000.0:10.2f}  {counters}"
+        )
+    return "\n".join(lines)
+
+
+def _render_counter(value) -> str:
+    if isinstance(value, (int, float)) and value == int(value):
+        return str(int(value))
+    return f"{value:.6g}" if isinstance(value, float) else str(value)

@@ -112,6 +112,29 @@ def campaign_payload(summary: dict) -> dict:
     return {"version": PROTOCOL_VERSION, "kind": "campaign", **summary}
 
 
+def bench_payload(document: dict) -> dict:
+    """Wrap a bench document (:func:`repro.obs.bench.bench_payload`,
+    already schema-versioned on its own) in the versioned envelope, so
+    ``repro bench --json`` speaks the same protocol as every other
+    ``--json`` command."""
+    return {"version": PROTOCOL_VERSION, **document}
+
+
+def validate_bench_payload(payload: dict) -> None:
+    """Raise :class:`ProtocolError` unless ``payload`` is a well-formed
+    ``bench`` envelope (the inner document is checked by
+    :func:`repro.obs.bench.validate_bench`)."""
+    from repro.obs.bench import BenchError, validate_bench
+
+    validate_version(payload)
+    _require(payload.get("kind") == "bench",
+             f"expected kind 'bench', got {payload.get('kind')!r}")
+    try:
+        validate_bench({k: v for k, v in payload.items() if k != "version"})
+    except BenchError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
 def error_payload(
     message: str, *, file: Optional[str] = None, error: str = "front-end"
 ) -> dict:

@@ -1,0 +1,379 @@
+"""Benchmark harness: deterministic runner, schema, comparator, CLI."""
+
+from __future__ import annotations
+
+import itertools
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    JsonlTraceWriter,
+    Tracer,
+    aggregate_trace,
+    installed_tracer,
+    read_trace,
+    trace_root_seconds,
+)
+from repro.obs.bench import (
+    BENCH_SCHEMA,
+    BenchError,
+    Scenario,
+    bench_payload,
+    compare_benchmarks,
+    dumps_bench,
+    get_scenario,
+    read_bench,
+    run_scenario,
+    run_scenarios,
+    scenario_names,
+    scenario_result_from_samples,
+    validate_bench,
+    write_bench,
+)
+from repro.service import protocol
+
+GOLDEN = Path(__file__).parent / "golden" / "bench.golden.json"
+
+#: A fingerprint pinned for byte-stable golden output.
+PINNED_FINGERPRINT = {
+    "python": "3.11.0",
+    "implementation": "CPython",
+    "platform": "Linux-golden",
+    "machine": "x86_64",
+    "cpu_count": 4,
+    "git_sha": "0" * 40,
+}
+
+CREATED = "2026-01-01T00:00:00Z"
+
+
+def _counting_clock(step: float):
+    counter = itertools.count()
+    return lambda: next(counter) * step
+
+
+def _toy_scenario(name: str = "check/toy", kind: str = "check") -> Scenario:
+    """A registry-independent scenario whose op is free — with a
+    counting clock every repetition times exactly one clock step."""
+    return Scenario(name, kind, ("small", "full"), lambda: lambda: {"ops": 2})
+
+
+def _result(name: str, samples, kind: str = "check", warmup: int = 1):
+    return scenario_result_from_samples(
+        name, kind, samples, counters={"ops": 2}, warmup=warmup
+    )
+
+
+def _payload(results):
+    return bench_payload(
+        results,
+        suite="golden",
+        warmup=1,
+        repetitions=max(r["repetitions"] for r in results),
+        fingerprint=dict(PINNED_FINGERPRINT),
+        created_utc=CREATED,
+    )
+
+
+class TestRunner:
+    def test_deterministic_with_injected_clock(self):
+        result = run_scenario(
+            _toy_scenario(),
+            warmup=2,
+            repetitions=4,
+            clock=_counting_clock(0.25),
+        )
+        assert result["samples_seconds"] == [0.25] * 4
+        assert result["min_seconds"] == 0.25
+        assert result["median_seconds"] == 0.25
+        assert result["mean_seconds"] == 0.25
+        assert result["stddev_seconds"] == 0.0
+        assert result["counters"] == {"ops": 2.0}
+        assert result["warmup"] == 2 and result["repetitions"] == 4
+
+    def test_golden_bench_json(self):
+        """The full payload, byte for byte — schema drift must be a
+        conscious change to the golden file and BENCH_SCHEMA."""
+        results = run_scenarios(
+            [_toy_scenario()],
+            warmup=1,
+            repetitions=3,
+            clock=_counting_clock(0.5),
+        )
+        payload = _payload(results)
+        assert dumps_bench(payload) == GOLDEN.read_text(encoding="utf-8")
+
+    def test_scenario_root_span_composes_with_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(trace) as writer:
+            with installed_tracer(Tracer(sinks=(writer,))):
+                run_scenario(
+                    _toy_scenario(),
+                    warmup=1,
+                    repetitions=2,
+                    clock=_counting_clock(0.5),
+                )
+        events = read_trace(trace)
+        roots = [e for e in events if e["parent_id"] is None]
+        assert [r["name"] for r in roots] == ["bench.check/toy"]
+        assert roots[0]["counters"] == {"repetitions": 2}
+        children = [e["name"] for e in events if e["parent_id"] is not None]
+        assert children.count("warmup") == 1
+        assert children.count("repetition") == 2
+
+    def test_registry_rejects_unknown_names(self):
+        with pytest.raises(BenchError, match="unknown scenario"):
+            get_scenario("check/nonesuch")
+        with pytest.raises(BenchError, match="unknown suite"):
+            scenario_names("medium")
+
+    def test_small_suite_is_subset_of_full(self):
+        small, full = scenario_names("small"), scenario_names("full")
+        assert set(small) < set(full)
+        assert "check/wind_sensor" in small
+        assert "service-batch/apps" in small
+
+
+class TestSchema:
+    def test_round_trip(self, tmp_path):
+        payload = _payload([_result("check/toy", [0.5, 0.5, 0.5])])
+        path = write_bench(payload, tmp_path / "BENCH_test.json")
+        assert read_bench(path) == payload
+
+    def test_default_filename_uses_utc_stamp(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        payload = _payload([_result("check/toy", [0.5])])
+        path = write_bench(payload)
+        assert path.name == "BENCH_20260101T000000Z.json"
+
+    def test_schema_violations_rejected(self):
+        good = _payload([_result("check/toy", [0.5, 0.5])])
+        assert validate_bench(good) is good
+
+        wrong_schema = dict(good, schema=BENCH_SCHEMA + 1)
+        with pytest.raises(BenchError, match="unsupported bench schema"):
+            validate_bench(wrong_schema)
+        with pytest.raises(BenchError, match="kind"):
+            validate_bench(dict(good, kind="trace"))
+        with pytest.raises(BenchError, match="non-empty list"):
+            validate_bench(dict(good, scenarios=[]))
+        with pytest.raises(BenchError, match="fingerprint missing"):
+            validate_bench(dict(good, fingerprint={"python": "3"}))
+
+        bad_reps = _payload([_result("check/toy", [0.5, 0.5])])
+        bad_reps["scenarios"][0]["repetitions"] = 7
+        with pytest.raises(BenchError, match="repetitions must equal"):
+            validate_bench(bad_reps)
+
+        dupe = _payload(
+            [_result("check/toy", [0.5]), _result("check/toy", [0.5])]
+        )
+        with pytest.raises(BenchError, match="duplicate scenario"):
+            validate_bench(dupe)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BenchError, match="unknown scenario kind"):
+            scenario_result_from_samples("x", "compile", [0.5])
+
+    def test_read_bench_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(BenchError, match="invalid JSON"):
+            read_bench(path)
+
+    def test_protocol_envelope(self):
+        payload = _payload([_result("check/toy", [0.5])])
+        envelope = protocol.bench_payload(payload)
+        protocol.validate_bench_payload(envelope)
+        with pytest.raises(protocol.ProtocolError):
+            protocol.validate_bench_payload(
+                dict(envelope, scenarios=[])
+            )
+
+
+class TestComparator:
+    def test_identical_inputs_all_within_noise(self):
+        payload = _payload([_result("check/toy", [1.0, 1.0, 1.0])])
+        comparison = compare_benchmarks(payload, payload, 10.0)
+        assert [r["status"] for r in comparison["rows"]] == ["within-noise"]
+        assert comparison["ok"]
+
+    def test_doubled_median_is_a_regression(self):
+        old = _payload([_result("check/toy", [1.0, 1.0, 1.0])])
+        new = _payload([_result("check/toy", [2.0, 2.0, 2.0])])
+        comparison = compare_benchmarks(old, new, 25.0)
+        (row,) = comparison["rows"]
+        assert row["status"] == "regression"
+        assert row["delta_pct"] == pytest.approx(100.0)
+        assert comparison["regressions"] == ["check/toy"]
+        assert not comparison["ok"]
+
+    def test_halved_median_is_an_improvement(self):
+        old = _payload([_result("check/toy", [1.0, 1.0, 1.0])])
+        new = _payload([_result("check/toy", [0.5, 0.5, 0.5])])
+        comparison = compare_benchmarks(old, new, 25.0)
+        assert comparison["improvements"] == ["check/toy"]
+        assert comparison["ok"]  # improvements never fail the gate
+
+    def test_shift_below_threshold_is_noise(self):
+        old = _payload([_result("check/toy", [1.0, 1.0, 1.0])])
+        new = _payload([_result("check/toy", [1.05, 1.05, 1.05])])
+        comparison = compare_benchmarks(old, new, 10.0)
+        assert [r["status"] for r in comparison["rows"]] == ["within-noise"]
+
+    def test_shift_inside_sample_noise_is_noise(self):
+        # +50% median shift, but the samples are so scattered that the
+        # combined stddev swallows it — not statistically meaningful.
+        old = _payload([_result("check/toy", [0.5, 1.0, 1.5])])
+        new = _payload([_result("check/toy", [1.0, 1.5, 2.0])])
+        comparison = compare_benchmarks(old, new, 10.0)
+        (row,) = comparison["rows"]
+        assert row["delta_pct"] == pytest.approx(50.0)
+        assert row["status"] == "within-noise"
+        assert comparison["ok"]
+
+    def test_missing_scenario_fails_the_gate(self):
+        old = _payload(
+            [_result("check/toy", [1.0]), _result("infer/toy", [1.0], "infer")]
+        )
+        new = _payload([_result("check/toy", [1.0])])
+        comparison = compare_benchmarks(old, new, 10.0)
+        assert comparison["missing"] == ["infer/toy"]
+        assert not comparison["ok"]
+
+    def test_added_scenario_is_reported_not_failed(self):
+        old = _payload([_result("check/toy", [1.0])])
+        new = _payload(
+            [_result("check/toy", [1.0]), _result("infer/toy", [1.0], "infer")]
+        )
+        comparison = compare_benchmarks(old, new, 10.0)
+        assert comparison["added"] == ["infer/toy"]
+        assert comparison["ok"]
+
+    def test_bad_threshold_rejected(self):
+        payload = _payload([_result("check/toy", [1.0])])
+        with pytest.raises(BenchError, match="threshold"):
+            compare_benchmarks(payload, payload, -1)
+
+
+class TestBenchCli:
+    def test_run_writes_valid_bench(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "2", "--warmup", "0",
+            "--output", str(out),
+        ]) == 0
+        payload = read_bench(out)
+        assert [s["name"] for s in payload["scenarios"]] == [
+            "check/wind_sensor"
+        ]
+        assert "check/wind_sensor" in capsys.readouterr().out
+
+    def test_json_emits_protocol_envelope(self, tmp_path, capsys):
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "1", "--warmup", "0", "--json",
+            "--output", str(tmp_path / "bench.json"),
+        ]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        protocol.validate_bench_payload(envelope)
+
+    def test_compare_identical_files_exits_0(self, tmp_path, capsys):
+        path = write_bench(
+            _payload([_result("check/toy", [1.0, 1.0])]),
+            tmp_path / "old.json",
+        )
+        assert main([
+            "bench", "--compare", str(path), "--against", str(path),
+        ]) == 0
+        assert "within-noise" in capsys.readouterr().out
+
+    def test_compare_2x_slowdown_exits_1(self, tmp_path, capsys):
+        old = write_bench(
+            _payload([_result("check/toy", [1.0, 1.0])]),
+            tmp_path / "old.json",
+        )
+        new = write_bench(
+            _payload([_result("check/toy", [2.0, 2.0])]),
+            tmp_path / "new.json",
+        )
+        assert main([
+            "bench", "--compare", str(old), "--against", str(new),
+            "--threshold", "25",
+        ]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_run_then_compare_against_baseline(self, tmp_path, capsys):
+        # a real (non-injected) run compared against a generous baseline
+        # built from its own output must pass the gate
+        out = tmp_path / "run.json"
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "2", "--warmup", "0", "--output", str(out),
+        ]) == 0
+        capsys.readouterr()
+        baseline = dict(read_bench(out))
+        for entry in baseline["scenarios"]:
+            entry["median_seconds"] *= 100
+            entry["min_seconds"] *= 100
+            entry["mean_seconds"] *= 100
+            entry["samples_seconds"] = [
+                s * 100 for s in entry["samples_seconds"]
+            ]
+        baseline_path = write_bench(baseline, tmp_path / "baseline.json")
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "2", "--warmup", "0",
+            "--output", str(tmp_path / "run2.json"),
+            "--compare", str(baseline_path), "--threshold", "25",
+        ]) in (0, 1)  # improvement or noise — never a crash
+        assert "improvement" in capsys.readouterr().out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["bench", "--scenario", "check/nonesuch"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_list_prints_suite(self, capsys):
+        assert main(["bench", "--list", "--suite", "small"]) == 0
+        out = capsys.readouterr().out
+        assert "check/wind_sensor" in out
+        assert "service-batch/apps" in out
+
+    def test_report_self_time_table(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "2", "--warmup", "0",
+            "--output", str(out), "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--report", str(trace)]) == 0
+        table = capsys.readouterr().out
+        assert "self ms" in table and "self%" in table
+        assert "bench.check/wind_sensor" in table
+        # the acceptance criterion: per-name exclusive times sum to the
+        # trace's root wall time
+        events = read_trace(trace)
+        rows = aggregate_trace(events)
+        assert sum(r["self_seconds"] for r in rows) == pytest.approx(
+            trace_root_seconds(events)
+        )
+
+    def test_report_rejects_invalid_trace(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{nope\n")
+        assert main(["bench", "--report", str(bad)]) == 2
+        assert "invalid trace" in capsys.readouterr().err
+
+    def test_report_and_compare_are_exclusive(self, tmp_path, capsys):
+        assert main([
+            "bench", "--report", "x.jsonl", "--compare", "y.json",
+        ]) == 2
+
+    def test_against_requires_compare(self, capsys):
+        assert main(["bench", "--against", "x.json"]) == 2

@@ -84,6 +84,49 @@ class TestHistograms:
         assert format_bound(2.5) == "2.5"
 
 
+class TestHistogramQuantiles:
+    def _hist(self, boundaries=(1.0, 2.0, 4.0)):
+        registry = MetricsRegistry()
+        return registry.histogram("repro_q_seconds", buckets=boundaries)
+
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = self._hist()
+        assert hist.quantile(0.5) is None
+        assert hist.quantiles() == {"p50": None, "p95": None, "p99": None}
+
+    def test_linear_interpolation_within_a_bucket(self):
+        # four observations in the (0, 10] bucket: the p50 estimate sits
+        # halfway up the bucket — 5.0 — whatever the raw values were.
+        hist = self._hist(boundaries=(10.0,))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == pytest.approx(5.0)
+
+    def test_quantile_walks_cumulative_buckets(self):
+        hist = self._hist()  # boundaries 1, 2, 4
+        for value in (0.5, 1.5, 3.0, 10.0):  # one per bucket incl. +Inf
+            hist.observe(value)
+        assert hist.quantile(0.25) == pytest.approx(1.0)
+        assert hist.quantile(0.5) == pytest.approx(2.0)
+        # the target rank falls into the open +Inf bucket: clamp to the
+        # top boundary (documented as an under-estimate)
+        assert hist.quantile(0.99) == pytest.approx(4.0)
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            self._hist().quantile(1.5)
+
+    def test_snapshot_includes_estimates(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_s_seconds", buckets=(10.0,))
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        entry = registry.snapshot()["histograms"]["repro_s_seconds"]
+        assert entry["p50"] == pytest.approx(5.0)
+        assert entry["p95"] == pytest.approx(9.5)
+        assert entry["p99"] == pytest.approx(9.9)
+
+
 class TestExposition:
     def _populated(self) -> MetricsRegistry:
         registry = MetricsRegistry()

@@ -15,8 +15,10 @@ from repro.obs import (
     TraceError,
     Tracer,
     aggregate_trace,
+    format_aggregate_table,
     format_tree,
     read_trace,
+    trace_root_seconds,
     validate_trace,
 )
 from repro.obs.sinks import validate_event
@@ -221,3 +223,61 @@ class TestAggregate:
         assert by_name["parse"]["mean_seconds"] == pytest.approx(
             by_name["parse"]["wall_seconds"] / 2
         )
+
+    def test_self_time_excludes_direct_children(self, tmp_path):
+        # reference tree (counting clock, step 1s): root 7s with
+        # children parse (1s) and check (3s); check holds flow_check
+        # (1s).  Exclusive times: root 3, check 2, parse 1, flow 1.
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        by_name = {
+            row["name"]: row for row in aggregate_trace(read_trace(path))
+        }
+        assert by_name["repro.check"]["self_seconds"] == pytest.approx(3.0)
+        assert by_name["check"]["self_seconds"] == pytest.approx(2.0)
+        assert by_name["parse"]["self_seconds"] == pytest.approx(1.0)
+        assert by_name["flow_check"]["self_seconds"] == pytest.approx(1.0)
+
+    def test_self_times_sum_to_root_wall(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        _write_reference_trace(path)
+        events = read_trace(path)
+        rows = aggregate_trace(events)
+        assert sum(row["self_seconds"] for row in rows) == pytest.approx(
+            trace_root_seconds(events)
+        )
+        assert trace_root_seconds(events) == pytest.approx(14.0)
+
+    def test_rows_sorted_by_self_time_then_name(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        rows = aggregate_trace(read_trace(path))
+        keys = [(-row["self_seconds"], row["name"]) for row in rows]
+        assert keys == sorted(keys)
+        # parse and flow_check tie at 1s self: name breaks the tie
+        tied = [row["name"] for row in rows if row["self_seconds"] == 1.0]
+        assert tied == sorted(tied)
+
+
+class TestAggregateTable:
+    def test_renders_deterministically(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        events = read_trace(path)
+        rows = aggregate_trace(events)
+        first = format_aggregate_table(rows, total_seconds=7.0)
+        second = format_aggregate_table(
+            aggregate_trace(read_trace(path)), total_seconds=7.0
+        )
+        assert first == second
+        header, *body = first.splitlines()
+        assert "self ms" in header and "self%" in header
+        assert len(body) == len(rows)
+
+    def test_counters_render_as_stable_ints(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        table = format_aggregate_table(aggregate_trace(read_trace(path)))
+        assert "methods=3" in table
+        assert "methods=3.0" not in table

@@ -42,7 +42,9 @@ class TestMetricsOp:
             cold = client.metrics()["metrics"]
             client.check(source=wind_source)
             warm = client.metrics()["metrics"]
-        assert cold["schema"] == warm["schema"] == 1
+        # schema 2 added bucket-interpolated quantile estimates to
+        # histogram entries (see docs/OBSERVABILITY.md)
+        assert cold["schema"] == warm["schema"] == 2
         assert cold["gauges"]["repro_cache_misses"] == 1
         assert cold["gauges"]["repro_cache_memory_hits"] == 0
         assert warm["gauges"]["repro_cache_memory_hits"] == 1
