@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Stabilization observatory: campaign -> event log -> HTML report.
+
+This drives the observability surface end to end on the paper's wind
+direction sensor (Fig. 2.1):
+
+1. run a small fault-injection campaign with the structured event log
+   switched on (`--log-level` + `--events`);
+2. tail the resulting JSONL event stream with `repro events`;
+3. read the per-trial convergence telemetry back out of the campaign
+   manifest and check the invariant the report relies on: the final
+   point of each recovered trial's convergence series *is* its
+   recovery distance in samples;
+4. render the single-file, dependency-free HTML dashboard with
+   `repro report --html` — byte-stable for the same inputs, so it can
+   be diffed and golden-tested.
+
+Run:  python examples/stabilization_report.py [output-dir]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+from repro.cli import main as repro
+from repro.runtime.campaign import trial_telemetry
+
+
+def main() -> None:
+    out = Path(sys.argv[1] if len(sys.argv) > 1 else "observatory-out")
+    out.mkdir(parents=True, exist_ok=True)
+    checkpoint = out / "campaign.json"
+    events = out / "events.jsonl"
+    report = out / "report.html"
+
+    # 1. a small campaign, instrumented: `--log-level` installs the
+    # event log (and bridges it into stdlib logging); `--events`
+    # streams every kept event as schema-versioned JSONL.
+    print("== campaign ==")
+    rc = repro([
+        "--log-level", "info",
+        "campaign", "--apps", "wind_sensor",
+        "--trials", "4", "--strata", "2", "--iterations", "8",
+        "--shard-size", "2", "--seed", "1",
+        "--checkpoint", str(checkpoint),
+        "--events", str(events),
+    ])
+    assert rc == 0, "campaign failed"
+
+    # 2. the event stream: campaign.plan, one campaign.shard per shard.
+    print("\n== last events ==")
+    rc = repro(["events", str(events), "--level", "info", "--tail", "5"])
+    assert rc == 0, "event stream did not validate"
+
+    # 3. convergence telemetry lives in the manifest's trial records —
+    # the final convergence point equals the recorded recovery distance.
+    print("\n== telemetry ==")
+    manifest = json.loads(checkpoint.read_text())
+    for shard in manifest["shards"].values():
+        for trial in shard.get("trials", []):
+            telemetry = trial_telemetry(trial)
+            if trial["verdict"] != "recovered":
+                continue
+            convergence = telemetry["convergence"]
+            print(
+                f"site {trial['site']}: convergence {convergence} -> "
+                f"{trial['recovery_samples']} samples to recover"
+            )
+            assert convergence[-1] == trial["recovery_samples"]
+
+    # 4. the dashboard: summary tables, recovery histograms, inline-SVG
+    # convergence curves, shard timeline, and the event tail.
+    rc = repro([
+        "report", "--campaign", str(checkpoint),
+        "--events", str(events), "--html", str(report),
+    ])
+    assert rc == 0, "report failed"
+    print(f"\nwrote {report} — open it in any browser")
+
+
+if __name__ == "__main__":
+    main()

@@ -20,14 +20,22 @@ Subcommands mirror the workflow of the paper's tool:
   socket, speaking newline-delimited JSON;
 * ``repro metrics``         — render an observability snapshot from a
   JSONL trace file or a running daemon;
+* ``repro events``          — tail/filter a JSONL structured event
+  stream written by ``--events`` (severity floor, name substring,
+  trace/span correlation);
+* ``repro report``          — render the deterministic single-file HTML
+  dashboard (convergence curves, shard timeline, events, bench trend);
 * ``repro bench``           — run the declarative benchmark suite and
   write a schema-versioned ``BENCH_*.json`` (``--compare`` is the
   regression gate, ``--report`` a self-time table over a JSONL trace;
   see ``docs/BENCHMARKS.md``).
 
-``check``/``infer``/``batch``/``campaign`` accept ``--trace FILE`` (write
-a JSON-lines trace of every span) and ``--profile`` (print the span tree
-with per-phase percentages to stderr); see ``docs/OBSERVABILITY.md``.
+``check``/``infer``/``inject``/``batch``/``campaign``/``bench`` accept
+``--trace FILE`` (write a JSON-lines trace of every span), ``--events
+FILE`` (write the structured event stream), and ``--profile`` (print
+the span tree with per-phase percentages to stderr); the global
+``--log-level {debug,info,warn,error}`` gates event emission and
+bridges events into stdlib ``logging``; see ``docs/OBSERVABILITY.md``.
 
 The batch/daemon/JSON workflow is documented in ``docs/SERVICE.md``.
 Installed as ``repro`` (console script) or usable as
@@ -39,6 +47,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import logging
 import os
 import sys
 import time
@@ -55,18 +64,28 @@ from repro.lang.parser import ParseError
 from repro.lang.symtab import ProgramInfo, ResolveError
 from repro.lang.typecheck import JavaTypeError
 from repro.obs import (
+    LEVELS,
+    EventError,
+    EventLog,
+    JsonlEventWriter,
     JsonlTraceWriter,
+    LoggingBridge,
     RingBufferSink,
     TraceError,
     Tracer,
     aggregate_trace,
+    filter_events,
     format_aggregate_table,
+    format_event,
     format_tree,
     get_tracer,
     installed_tracer,
+    read_events,
     trace_root_seconds,
     validate_trace,
+    write_report,
 )
+from repro.obs.events import PY_LEVELS, installed_event_log
 from repro.runtime import Interpreter, RuntimeOptions, StabilizationExperiment
 from repro.runtime.devices import SyntheticDevice
 from repro.runtime.stabilization import recovery_histogram
@@ -90,34 +109,68 @@ def _load(path: str) -> ProgramInfo:
 def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write a JSON-lines span trace to FILE")
+    parser.add_argument("--events", metavar="FILE", default=None,
+                        help="write the structured event stream to FILE "
+                             "(JSON lines; level set by --log-level)")
     parser.add_argument("--profile", action="store_true",
                         help="print the span tree with per-phase "
                              "percentages to stderr")
 
 
 @contextlib.contextmanager
-def _observed(args: argparse.Namespace, root_name: str, **attrs):
-    """Run a command under a tracer when ``--trace``/``--profile`` ask
-    for one; otherwise leave the no-op tracer installed."""
-    if not (getattr(args, "trace", None) or getattr(args, "profile", False)):
-        with get_tracer().span(root_name, **attrs):
-            yield
+def _event_logged(args: argparse.Namespace):
+    """Install an :class:`EventLog` when ``--events`` or the global
+    ``--log-level`` ask for one; otherwise the no-op log stays and
+    instrumented code pays ~nothing."""
+    events_path = getattr(args, "events", None)
+    log_level = getattr(args, "log_level", None)
+    if not (events_path or log_level):
+        yield
         return
-    ring = RingBufferSink() if args.profile else None
-    writer = JsonlTraceWriter(args.trace) if args.trace else None
-    sinks = tuple(s for s in (ring, writer) if s is not None)
+    writer = JsonlEventWriter(events_path) if events_path else None
+    sinks: list = [writer] if writer is not None else []
+    if log_level:
+        sinks.append(LoggingBridge())
     try:
-        with installed_tracer(Tracer(sinks=sinks)) as tracer:
-            with tracer.span(root_name, **attrs):
-                yield
+        with installed_event_log(
+            EventLog(level=log_level or "info", sinks=sinks)
+        ):
+            yield
     finally:
         if writer is not None:
             writer.close()
-        if ring is not None:
-            for root in ring.roots:
-                print(format_tree(root), file=sys.stderr)
-        if args.trace:
-            print(f"// trace written to {args.trace}", file=sys.stderr)
+        if events_path:
+            print(f"// events written to {events_path}", file=sys.stderr)
+
+
+@contextlib.contextmanager
+def _observed(args: argparse.Namespace, root_name: str, **attrs):
+    """Run a command under a tracer when ``--trace``/``--profile`` ask
+    for one (and an event log when ``--events``/``--log-level`` do);
+    otherwise the no-op tracer stays installed.  The event log is set up
+    first, so events emitted inside the root span carry its ids."""
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(_event_logged(args))
+        if not (getattr(args, "trace", None)
+                or getattr(args, "profile", False)):
+            with get_tracer().span(root_name, **attrs):
+                yield
+            return
+        ring = RingBufferSink() if args.profile else None
+        writer = JsonlTraceWriter(args.trace) if args.trace else None
+        sinks = tuple(s for s in (ring, writer) if s is not None)
+        try:
+            with installed_tracer(Tracer(sinks=sinks)) as tracer:
+                with tracer.span(root_name, **attrs):
+                    yield
+        finally:
+            if writer is not None:
+                writer.close()
+            if ring is not None:
+                for root in ring.roots:
+                    print(format_tree(root), file=sys.stderr)
+            if args.trace:
+                print(f"// trace written to {args.trace}", file=sys.stderr)
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -204,15 +257,17 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_inject(args: argparse.Namespace) -> int:
-    info = _load(args.file)
-    experiment = StabilizationExperiment(
-        info,
-        _device_factory(args),
-        options=RuntimeOptions(
-            ignore_errors=True, max_iterations=args.iterations
-        ),
-    )
-    trials = experiment.run_trials(args.trials, seed=args.seed)
+    with _observed(args, "repro.inject", file=args.file,
+                   trials=args.trials):
+        info = _load(args.file)
+        experiment = StabilizationExperiment(
+            info,
+            _device_factory(args),
+            options=RuntimeOptions(
+                ignore_errors=True, max_iterations=args.iterations
+            ),
+        )
+        trials = experiment.run_trials(args.trials, seed=args.seed)
     corrupted = [t for t in trials if t.corrupted_output]
     recovered = [t for t in corrupted if not t.diverged]
     diverged = len(corrupted) - len(recovered)
@@ -463,6 +518,76 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_events(args: argparse.Namespace) -> int:
+    if (args.file is None) == (args.socket is None):
+        print(
+            "error: events needs exactly one of FILE or --socket PATH",
+            file=sys.stderr,
+        )
+        return 2
+    if args.file is not None:
+        try:
+            records = read_events(args.file)
+        except EventError as exc:
+            print(f"error: invalid event stream: {exc}", file=sys.stderr)
+            return 2
+    else:
+        from repro.service.client import ReproClient, ServiceError
+
+        try:
+            with ReproClient(args.socket) as client:
+                records = client.events()["events"]
+        except (ServiceError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    selected = filter_events(
+        records,
+        min_level=args.level,
+        name=args.name,
+        trace_id=args.trace_id,
+        span_id=args.span_id,
+        tail=args.tail,
+    )
+    if args.json:
+        for record in selected:
+            print(json.dumps(record, sort_keys=True))
+    else:
+        for record in selected:
+            print(format_event(record))
+        print(
+            f"// {len(selected)}/{len(records)} events shown",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    if not (args.campaign or args.events or args.bench):
+        print(
+            "error: report needs at least one input "
+            "(--campaign / --events / --bench)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        write_report(
+            args.html,
+            campaign_path=args.campaign,
+            events_path=args.events,
+            bench_paths=args.bench or (),
+            title=args.title,
+            generated_at=args.generated_at,
+        )
+    except EventError as exc:
+        print(f"error: invalid event stream: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: unreadable input: {exc}", file=sys.stderr)
+        return 2
+    print(f"// report written to {args.html}", file=sys.stderr)
+    return 0
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         BenchError,
@@ -551,6 +676,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Self-Stabilizing Java (PLDI 2012) reproduction",
     )
+    parser.add_argument(
+        "--log-level", choices=LEVELS, default=None,
+        help="enable structured events at this severity and bridge "
+             "them into stdlib logging on stderr (default: events off)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     check = sub.add_parser("check", help="check self-stabilization")
@@ -587,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     inject.add_argument("--seed", type=int, default=0)
     inject.add_argument("--bin", type=int, default=8,
                         help="histogram bin size in output samples")
+    _add_obs_arguments(inject)
     inject.set_defaults(func=cmd_inject)
 
     campaign = sub.add_parser(
@@ -685,6 +816,50 @@ def build_parser() -> argparse.ArgumentParser:
                          help="output format (prometheus needs --socket)")
     metrics.set_defaults(func=cmd_metrics)
 
+    events = sub.add_parser(
+        "events",
+        help="tail/filter a structured event stream (file or daemon)",
+    )
+    events.add_argument("file", nargs="?", default=None,
+                        help="JSONL event stream written by --events")
+    events.add_argument("--socket", metavar="PATH", default=None,
+                        help="read the in-memory buffer of a running "
+                             "daemon instead of a file")
+    events.add_argument("--level", choices=LEVELS, default=None,
+                        help="minimum severity to show")
+    events.add_argument("--name", metavar="SUBSTR", default=None,
+                        help="only events whose name contains SUBSTR")
+    events.add_argument("--trace-id", metavar="ID", default=None,
+                        help="only events correlated with this trace")
+    events.add_argument("--span-id", metavar="ID", type=int, default=None,
+                        help="only events correlated with this span")
+    events.add_argument("--tail", metavar="N", type=int, default=None,
+                        help="show only the last N matching events")
+    events.add_argument("--json", action="store_true",
+                        help="print raw JSON envelopes, one per line")
+    events.set_defaults(func=cmd_events)
+
+    report = sub.add_parser(
+        "report",
+        help="render the single-file HTML campaign dashboard",
+    )
+    report.add_argument("--campaign", metavar="MANIFEST.json", default=None,
+                        help="campaign checkpoint manifest "
+                             "(written by campaign --checkpoint)")
+    report.add_argument("--events", metavar="FILE", default=None,
+                        help="JSONL event stream to summarize")
+    report.add_argument("--bench", metavar="BENCH.json", action="append",
+                        default=None,
+                        help="bench payload for the trend table "
+                             "(repeatable, in trend order)")
+    report.add_argument("--html", metavar="OUT.html", required=True,
+                        help="output path for the dashboard")
+    report.add_argument("--title", default="Stabilization report")
+    report.add_argument("--generated-at", metavar="STAMP", default=None,
+                        help="embed this generation timestamp (omitted "
+                             "by default so reports are byte-stable)")
+    report.set_defaults(func=cmd_report)
+
     bench = sub.add_parser(
         "bench",
         help="run the benchmark suite, compare runs, or report a trace",
@@ -726,6 +901,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        # The LoggingBridge emits under the "repro" logger; a basicConfig
+        # root handler on stderr makes `--log-level debug` work out of
+        # the box while embedders keep whatever handlers they installed.
+        logging.basicConfig(
+            level=PY_LEVELS[args.log_level],
+            stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+        )
     try:
         return args.func(args)
     except FileNotFoundError as exc:

@@ -11,15 +11,23 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
 * **sinks** (:mod:`repro.obs.sinks`) — an in-memory ring buffer, an
   atomic-append JSON-lines trace writer, and a human span-tree
   renderer;
+* **events** (:mod:`repro.obs.events`) — a leveled, sampled,
+  trace-correlated structured event log with JSONL persistence, an
+  in-memory ring buffer, and a stdlib ``logging`` bridge;
 * **bench** (:mod:`repro.obs.bench`) — a declarative benchmark registry
   and runner over the registered apps, the schema-versioned
   ``BENCH_*.json`` perf trajectory, and the regression-gate comparator
-  behind ``repro bench --compare`` (see ``docs/BENCHMARKS.md``).
+  behind ``repro bench --compare`` (see ``docs/BENCHMARKS.md``);
+* **report** (:mod:`repro.obs.report`) — the deterministic single-file
+  HTML dashboard behind ``repro report --html`` (convergence curves,
+  shard timeline, event and bench tables).
 
 The CLI surfaces all of it: ``--trace FILE`` writes a JSONL trace,
-``--profile`` prints the span tree, ``repro metrics`` renders a
-snapshot from a trace file or a running daemon, and ``repro bench``
-runs, compares, and reports benchmarks.
+``--events FILE`` writes a JSONL event stream, ``--profile`` prints the
+span tree, ``repro metrics`` renders a snapshot from a trace file or a
+running daemon, ``repro events`` tails/filters an event stream, ``repro
+report`` renders the HTML dashboard, and ``repro bench`` runs,
+compares, and reports benchmarks.
 """
 
 from repro.obs.bench import (
@@ -38,6 +46,23 @@ from repro.obs.bench import (
     validate_bench,
     write_bench,
 )
+from repro.obs.events import (
+    EVENTS_SCHEMA,
+    LEVELS,
+    EventBuffer,
+    EventError,
+    EventLog,
+    JsonlEventWriter,
+    LoggingBridge,
+    NullEventLog,
+    filter_events,
+    format_event,
+    get_event_log,
+    installed_event_log,
+    read_events,
+    set_event_log,
+    validate_events,
+)
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
     METRICS_SCHEMA,
@@ -48,11 +73,19 @@ from repro.obs.metrics import (
     MetricsRegistry,
     global_registry,
 )
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    render_report,
+    write_report,
+)
 from repro.obs.sinks import (
     JsonlTraceWriter,
+    JsonlWriter,
     RingBufferSink,
     TraceError,
+    TraceWarning,
     aggregate_trace,
+    read_jsonl,
     format_aggregate_table,
     format_tree,
     read_trace,
@@ -75,6 +108,27 @@ __all__ = [
     "TRACE_SCHEMA",
     "METRICS_SCHEMA",
     "BENCH_SCHEMA",
+    "EVENTS_SCHEMA",
+    "REPORT_SCHEMA",
+    "render_report",
+    "write_report",
+    "LEVELS",
+    "EventBuffer",
+    "EventError",
+    "EventLog",
+    "JsonlEventWriter",
+    "LoggingBridge",
+    "NullEventLog",
+    "filter_events",
+    "format_event",
+    "get_event_log",
+    "installed_event_log",
+    "read_events",
+    "set_event_log",
+    "validate_events",
+    "JsonlWriter",
+    "TraceWarning",
+    "read_jsonl",
     "DEFAULT_TIME_BUCKETS",
     "SNAPSHOT_QUANTILES",
     "BenchError",

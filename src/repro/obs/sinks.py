@@ -24,8 +24,9 @@ import collections
 import json
 import os
 import threading
+import warnings
 from pathlib import Path
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 from repro.obs.trace import Span, TRACE_SCHEMA, span_event
 
@@ -54,8 +55,17 @@ class RingBufferSink:
             self._roots.clear()
 
 
-class JsonlTraceWriter:
-    """Appends one span event per line; atomic at line granularity."""
+class JsonlWriter:
+    """Appends one JSON object per line; atomic at line granularity.
+
+    The generic atomic-append machinery: each :meth:`write` serializes
+    one object to a single line and pushes it through one ``os.write``
+    call on an ``O_APPEND`` descriptor, so concurrent threads (and
+    well-behaved cooperating processes) interleave *lines*, never
+    *bytes*.  :class:`JsonlTraceWriter` (spans) and
+    :class:`repro.obs.events.JsonlEventWriter` (log events) are thin
+    adapters over it.
+    """
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
@@ -65,10 +75,8 @@ class JsonlTraceWriter:
         )
         self._lock = threading.Lock()
 
-    def emit(self, span: Span) -> None:
-        line = json.dumps(
-            span_event(span), sort_keys=True, separators=(",", ":")
-        )
+    def write(self, obj: dict) -> None:
+        line = json.dumps(obj, sort_keys=True, separators=(",", ":"))
         data = (line + "\n").encode("utf-8")
         with self._lock:
             if self._fd is not None:
@@ -80,11 +88,18 @@ class JsonlTraceWriter:
                 os.close(self._fd)
                 self._fd = None
 
-    def __enter__(self) -> "JsonlTraceWriter":
+    def __enter__(self) -> "JsonlWriter":
         return self
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class JsonlTraceWriter(JsonlWriter):
+    """Appends one span event per line; atomic at line granularity."""
+
+    def emit(self, span: Span) -> None:
+        self.write(span_event(span))
 
 
 # ---------------------------------------------------------------------------
@@ -149,6 +164,55 @@ class TraceError(ValueError):
     """A trace file violated the documented JSONL schema."""
 
 
+class TraceWarning(UserWarning):
+    """A recoverable defect in a JSONL stream (e.g. a truncated final
+    line left behind by a crashed writer) that the reader skipped."""
+
+
+def read_jsonl(
+    path: str | Path,
+    *,
+    validate: Callable[[dict], None],
+    error: type = TraceError,
+) -> list[dict]:
+    """Parse a JSONL file, validating each object with ``validate``.
+
+    A final line with no trailing newline is the signature of a writer
+    killed mid-``os.write``; if that line fails to parse or validate it
+    is *skipped* with a :class:`TraceWarning` instead of poisoning the
+    whole file — every complete line before it is still returned.  Any
+    defect on a newline-terminated line still raises ``error``: those
+    were complete writes, so corruption there is real.
+    """
+    text = Path(path).read_text(encoding="utf-8")
+    lines = text.splitlines()
+    terminated = text.endswith("\n")
+    objects: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        truncated_tail = number == len(lines) and not terminated
+        try:
+            obj = json.loads(line)
+            validate(obj)
+        except (json.JSONDecodeError, ValueError) as exc:
+            detail = (
+                f"invalid JSON: {exc}"
+                if isinstance(exc, json.JSONDecodeError) else str(exc)
+            )
+            if truncated_tail:
+                warnings.warn(
+                    f"{path}:{number}: skipping truncated final line "
+                    f"(crashed writer?): {detail}",
+                    TraceWarning,
+                    stacklevel=2,
+                )
+                break
+            raise error(f"{path}:{number}: {detail}") from exc
+        objects.append(obj)
+    return objects
+
+
 _REQUIRED_EVENT_KEYS = (
     "schema", "event", "trace_id", "span_id", "parent_id", "name",
     "start_seconds", "duration_seconds", "cpu_seconds", "attrs", "counters",
@@ -187,23 +251,18 @@ def validate_event(event: dict) -> None:
 
 
 def read_trace(path: str | Path) -> list[dict]:
-    """Parse and validate a JSONL trace file into a list of events."""
-    events: list[dict] = []
-    for number, line in enumerate(
-        Path(path).read_text(encoding="utf-8").splitlines(), start=1
-    ):
-        if not line.strip():
-            continue
-        try:
-            event = json.loads(line)
-        except json.JSONDecodeError as exc:
-            raise TraceError(f"{path}:{number}: invalid JSON: {exc}") from exc
-        try:
-            validate_event(event)
-        except TraceError as exc:
-            raise TraceError(f"{path}:{number}: {exc}") from exc
-        events.append(event)
-    return events
+    """Parse and validate a JSONL trace file into a list of events.
+
+    A truncated final line (crashed writer) is skipped with a
+    :class:`TraceWarning`; see :func:`read_jsonl`.
+    """
+
+    def check(event: dict) -> None:
+        if not isinstance(event, dict):
+            raise TraceError("trace event must be a JSON object")
+        validate_event(event)
+
+    return read_jsonl(path, validate=check, error=TraceError)
 
 
 def validate_trace(path: str | Path) -> list[dict]:

@@ -41,6 +41,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.apps import APP_NAMES, app_experiment
 from repro.obs import get_tracer, global_registry
+from repro.obs.events import get_event_log
 from repro.runtime.stabilization import InjectionTrial
 from repro.service.pool import ResilientPool, TaskFailure
 
@@ -238,7 +239,7 @@ def verdict_of(trial: InjectionTrial) -> str:
 
 
 def trial_record(app: str, trial: InjectionTrial) -> dict:
-    return {
+    record = {
         "app": app,
         "site": trial.target_step,
         "verdict": verdict_of(trial),
@@ -246,6 +247,26 @@ def trial_record(app: str, trial: InjectionTrial) -> dict:
         "recovery_samples": trial.recovery_samples,
         "recovery_iterations": trial.recovery_iterations,
         "error_log_size": trial.error_log_size,
+    }
+    # Convergence telemetry is additive: old manifests (and readers of
+    # them) simply lack the key, which is why consumers go through
+    # trial_telemetry() instead of indexing it directly.
+    if trial.divergence is not None or trial.convergence is not None:
+        record["telemetry"] = {
+            "divergence": trial.divergence,
+            "convergence": trial.convergence,
+        }
+    return record
+
+
+def trial_telemetry(trial: dict) -> dict:
+    """Convergence telemetry of a checkpointed trial record, tolerating
+    manifests written before telemetry existed (both keys default to
+    None)."""
+    telemetry = trial.get("telemetry") or {}
+    return {
+        "divergence": telemetry.get("divergence"),
+        "convergence": telemetry.get("convergence"),
     }
 
 
@@ -426,6 +447,15 @@ class CampaignRunner:
             f"{len(planned) - len(pending)} already checkpointed, "
             f"{len(pending)} to run"
         )
+        get_event_log().emit(
+            "campaign.plan",
+            level="info",
+            apps=list(self.config.apps),
+            mode=self.config.mode,
+            planned=len(planned),
+            checkpointed=len(planned) - len(pending),
+            pending=len(pending),
+        )
         if pending:
             self._drive(pending)
         return aggregate_report(self.config, site_totals, planned, records)
@@ -442,6 +472,7 @@ class CampaignRunner:
         )
         tracer = get_tracer()
         metrics = global_registry()
+        events = get_event_log()
         payloads = [shard.payload(self.config) for shard in pending]
         with tracer.span("campaign_drive", shards=len(pending)) as drive:
             drive_start = time.perf_counter()
@@ -463,6 +494,16 @@ class CampaignRunner:
                     self._note(
                         f"shard {shard.shard_id}: infra-failed "
                         f"({result.reason} after {result.attempts} attempts)"
+                    )
+                    events.emit(
+                        "campaign.shard",
+                        "given up on after retries",
+                        level="error",
+                        shard_id=shard.shard_id,
+                        app=shard.app,
+                        status="infra-failed",
+                        reason=result.reason,
+                        attempts=result.attempts,
                     )
                 else:
                     run_seconds = float(result.get("run_seconds", 0.0))
@@ -510,6 +551,21 @@ class CampaignRunner:
                     self._note(
                         f"shard {shard.shard_id}: "
                         f"{len(result['trials'])} trials"
+                    )
+                    # Workers are separate processes, so the trial.*
+                    # events from stabilization.py never reach the
+                    # driver's log; the shard summary is the driver-side
+                    # record of what crossed the pool boundary.
+                    events.emit(
+                        "campaign.shard",
+                        level="info",
+                        shard_id=shard.shard_id,
+                        app=shard.app,
+                        status="done",
+                        trials=len(result["trials"]),
+                        run_seconds=obs["run_seconds"],
+                        retries=obs["retries"],
+                        timeouts=obs["timeouts"],
                     )
                 self._manifest["shards"][shard.shard_id] = record
                 self._save_manifest()

@@ -243,11 +243,13 @@ class CompiledRunner(Interpreter):
                 except _BreakSignal:
                     self.iteration += 1
                     self.iteration_marks.append(len(self.sink.values))
+                    self._iteration_event()
                     break
                 except _ContinueSignal:
                     pass
                 self.iteration += 1
                 self.iteration_marks.append(len(self.sink.values))
+                self._iteration_event()
 
         return run_loop
 

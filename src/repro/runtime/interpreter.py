@@ -21,10 +21,12 @@ memory or arithmetic operation and may replace it.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.lang import ast
+from repro.obs.events import get_event_log
 from repro.lang.symtab import BuiltinCall, MethodCall, ProgramInfo
 from repro.runtime.devices import DeviceBus, InputExhausted, OutputSink
 from repro.runtime.values import (
@@ -35,6 +37,14 @@ from repro.runtime.values import (
     java_int_div,
     java_int_rem,
 )
+
+
+def state_digest(values: Sequence[object]) -> str:
+    """Compact, stable digest of one iteration's observable state (the
+    output samples it emitted) — 8 hex chars of CRC-32 over the
+    canonical repr.  Two runs diverge exactly when their digests do,
+    which is what the convergence telemetry compares per iteration."""
+    return f"{zlib.crc32(repr(list(values)).encode('utf-8')) & 0xFFFFFFFF:08x}"
 
 
 class SJavaRuntimeError(Exception):
@@ -137,6 +147,33 @@ class Interpreter:
             groups.append(self.sink.values[start:mark])
             start = mark
         return groups
+
+    def iteration_digests(self) -> list[str]:
+        """Per-iteration :func:`state_digest` of the observable state —
+        the convergence-telemetry series the stabilization experiments
+        compare between a reference and a faulty run."""
+        return [state_digest(group) for group in self.outputs_by_iteration()]
+
+    def _iteration_event(self) -> None:
+        """Emit a per-iteration ``runtime.iteration`` debug event.
+
+        Called once per completed event-loop iteration by both
+        execution backends.  The digest is only computed when a debug-
+        level event log is installed, so the disabled path costs one
+        global read and a method call.
+        """
+        events = get_event_log()
+        if not events.enabled or not events.enabled_for("debug"):
+            return
+        mark = self.iteration_marks[-1]
+        start = self.iteration_marks[-2] if len(self.iteration_marks) > 1 else 0
+        events.emit(
+            "runtime.iteration",
+            level="debug",
+            iteration=self.iteration - 1,
+            outputs=mark - start,
+            digest=state_digest(self.sink.values[start:mark]),
+        )
 
     # -- objects ----------------------------------------------------------------
 
@@ -252,11 +289,13 @@ class Interpreter:
             except _BreakSignal:
                 self.iteration += 1
                 self.iteration_marks.append(len(self.sink.values))
+                self._iteration_event()
                 break
             except _ContinueSignal:
                 pass
             self.iteration += 1
             self.iteration_marks.append(len(self.sink.values))
+            self._iteration_event()
 
     def _loop_bound(self, annotations: list[ast.Annotation]) -> int:
         maxloop = ast.annotation_named(annotations, "MAXLOOP")

@@ -20,6 +20,7 @@ from typing import Callable, Optional
 
 from repro.lang.symtab import ProgramInfo
 from repro.obs import get_tracer
+from repro.obs.events import get_event_log
 from repro.runtime.compiler import CompiledRunner
 from repro.runtime.devices import DeviceBus
 from repro.runtime.injection import ErrorInjector, StepCounter
@@ -52,6 +53,13 @@ class InjectionTrial:
     #: ``timeout`` rather than letting them hang a worker.
     timed_out: bool = False
     error_log_size: int = 0
+    #: Convergence telemetry (None for not-injected and timed-out runs):
+    #: per-iteration count of output samples deviating from the
+    #: reference (:func:`divergence_series`), and — for recovered runs —
+    #: the cumulative replayed-sample curve whose plateau equals
+    #: ``recovery_samples`` (:func:`convergence_series`).
+    divergence: Optional[list[int]] = None
+    convergence: Optional[list[int]] = None
 
 
 def recovery_distance(
@@ -88,6 +96,48 @@ def recovery_distance(
         len(reference_groups[i]) for i in range(injection_iteration, recovery)
     )
     return samples, recovery - injection_iteration, False
+
+
+def divergence_series(
+    reference_groups: list[list[object]],
+    faulty_groups: list[list[object]],
+) -> list[int]:
+    """Per-iteration divergence-set size: how many output samples of
+    iteration ``i`` differ between the faulty run and the reference
+    (positions missing from either run count as differing).  The series
+    the paper's Figures 6.1/6.2 make visible — it spikes at the
+    injection point and decays to zero as execution re-converges."""
+    length = max(len(reference_groups), len(faulty_groups))
+    series: list[int] = []
+    for i in range(length):
+        reference = reference_groups[i] if i < len(reference_groups) else []
+        faulty = faulty_groups[i] if i < len(faulty_groups) else []
+        width = max(len(reference), len(faulty))
+        series.append(sum(
+            1 for j in range(width)
+            if j >= len(reference) or j >= len(faulty)
+            or reference[j] != faulty[j]
+        ))
+    return series
+
+
+def convergence_series(
+    reference_groups: list[list[object]],
+    injection_iteration: int,
+    recovery_iterations: int,
+) -> list[int]:
+    """Cumulative reference output samples replayed since the injection
+    iteration, saturating once outputs re-converge.  By construction
+    the final point (the plateau) equals the trial's recovery distance
+    in samples — the scalar ``recovery_samples`` records."""
+    recovery = injection_iteration + recovery_iterations
+    series: list[int] = []
+    total = 0
+    for i in range(injection_iteration, len(reference_groups)):
+        if i < recovery:
+            total += len(reference_groups[i])
+        series.append(total)
+    return series
 
 
 @dataclass
@@ -185,12 +235,22 @@ class StabilizationExperiment:
             replace(self.options, step_budget=budget)
             if budget is not None else self.options
         )
+        events = get_event_log()
         try:
             interpreter = self._run(injector, options)
         except StepBudgetExceeded:
             # The corrupted run never finished: a runaway loop or
             # explosion of work.  Recorded as a timeout, never a hang.
             span.count("steps", budget or 0)
+            events.emit(
+                "trial.timeout",
+                "step-budget watchdog stopped a runaway injected run",
+                level="warn",
+                site=target_step,
+                seed=seed,
+                injection_iteration=injector.injection_iteration,
+                step_budget=budget,
+            )
             return InjectionTrial(
                 target_step=target_step,
                 injection_iteration=injector.injection_iteration,
@@ -207,6 +267,10 @@ class StabilizationExperiment:
         if injection_iteration is None:
             # The injector replaced a value with an equal one or never hit
             # a corruptible site: no fault was actually introduced.
+            events.emit(
+                "trial.not_injected", level="debug",
+                site=target_step, seed=seed,
+            )
             return InjectionTrial(
                 target_step=target_step,
                 injection_iteration=None,
@@ -215,9 +279,45 @@ class StabilizationExperiment:
                 recovery_iterations=None,
                 error_log_size=len(interpreter.error_log),
             )
+        events.emit(
+            "trial.corrupted",
+            "fault injected",
+            level="info",
+            site=target_step,
+            seed=seed,
+            iteration=injection_iteration,
+        )
         samples, iterations, diverged = recovery_distance(
             reference, faulty_groups, injection_iteration
         )
+        divergence = divergence_series(reference, faulty_groups)
+        convergence = (
+            convergence_series(reference, injection_iteration, iterations)
+            if iterations is not None else None
+        )
+        if diverged:
+            events.emit(
+                "trial.diverged",
+                "outputs never returned to the reference behavior",
+                level="error",
+                site=target_step,
+                iteration=injection_iteration,
+            )
+        elif samples is not None:
+            events.emit(
+                "trial.recovered",
+                "outputs re-converged to the reference",
+                level="info",
+                site=target_step,
+                iteration=injection_iteration,
+                recovery_samples=samples,
+                recovery_iterations=iterations,
+            )
+        else:
+            events.emit(
+                "trial.masked", level="debug",
+                site=target_step, iteration=injection_iteration,
+            )
         return InjectionTrial(
             target_step=target_step,
             injection_iteration=injection_iteration,
@@ -226,6 +326,8 @@ class StabilizationExperiment:
             recovery_iterations=iterations,
             diverged=diverged,
             error_log_size=len(interpreter.error_log),
+            divergence=divergence,
+            convergence=convergence,
         )
 
     def run_trials(

@@ -175,6 +175,25 @@ class ReproClient:
         the text exposition in ``metrics_text``)."""
         return self._checked({"op": "metrics", "format": format})
 
+    def events(
+        self,
+        *,
+        level: Optional[str] = None,
+        name: Optional[str] = None,
+        limit: Optional[int] = None,
+    ) -> dict:
+        """The daemon's recent structured events (its in-memory ring),
+        filtered server-side: ``level`` is a severity floor, ``name`` a
+        substring match, ``limit`` keeps only the last N."""
+        request: dict = {"op": "events"}
+        if level is not None:
+            request["level"] = level
+        if name is not None:
+            request["name"] = name
+        if limit is not None:
+            request["limit"] = limit
+        return self._checked(request)
+
     def shutdown(self) -> dict:
         return self._checked({"op": "shutdown"})
 

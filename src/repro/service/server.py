@@ -19,6 +19,9 @@ number of requests.  Operations:
 * ``{"op": "metrics"}`` — the full :class:`~repro.obs.MetricsRegistry`
   snapshot (``{"format": "prometheus"}`` returns the text exposition
   instead);
+* ``{"op": "events"}`` — the daemon's recent structured events (an
+  in-memory ring of the last 512), optionally filtered by ``level``
+  (severity floor), ``name`` (substring) and ``limit`` (tail);
 * ``{"op": "shutdown"}`` — acknowledge, then stop the daemon.
 
 Every response carries ``version``, ``ok``, and the server-assigned
@@ -46,6 +49,8 @@ from repro.lang.parser import ParseError
 from repro.lang.symtab import ResolveError
 from repro.lang.typecheck import JavaTypeError
 from repro.obs import (
+    EventBuffer,
+    EventLog,
     MetricsRegistry,
     RingBufferSink,
     Tracer,
@@ -53,13 +58,14 @@ from repro.obs import (
     set_tracer,
     timed_span,
 )
+from repro.obs.events import EventError, get_event_log, set_event_log
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.pool import CheckerPool
 
 _FRONT_END_ERRORS = (LexError, ParseError, ResolveError, JavaTypeError)
 
-OPS = ("check", "infer", "status", "metrics", "shutdown")
+OPS = ("check", "infer", "status", "metrics", "events", "shutdown")
 
 
 class _Handler(socketserver.StreamRequestHandler):
@@ -123,6 +129,15 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             else Tracer(sinks=(self.trace_buffer,))
         )
         self._previous_tracer = set_tracer(self.tracer)
+        # Same ownership story for the event log: the last 512 events
+        # stay in memory and ship through the `events` op.  Threshold is
+        # debug — the ring is the filter, not the gate.
+        self.event_buffer = EventBuffer(capacity=512)
+        self.event_log = EventLog(level="debug", sinks=(self.event_buffer,))
+        self._previous_event_log = set_event_log(self.event_log)
+        self.event_log.emit(
+            "daemon.start", level="info", socket=self.socket_path
+        )
 
     # -- lifecycle -------------------------------------------------------
 
@@ -134,6 +149,8 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
     def close(self) -> None:
         if get_tracer() is self.tracer:
             set_tracer(self._previous_tracer)
+        if get_event_log() is self.event_log:
+            set_event_log(self._previous_event_log)
         self.server_close()
         Path(self.socket_path).unlink(missing_ok=True)
 
@@ -161,6 +178,14 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         try:
             handler = getattr(self, f"_op_{op}")
             with self.tracer.span(f"op.{op}", request_id=request_id) as span:
+                # Inside the span, so the event joins it on
+                # (trace_id, span_id) — except for `events` itself,
+                # which would pollute the very ring it is reading.
+                if op != "events":
+                    self.event_log.emit(
+                        "daemon.request", level="debug",
+                        op=op, request_id=request_id,
+                    )
                 response = handler(request, request_id)
                 span.set_attr("ok", bool(response.get("ok")))
             return response
@@ -294,6 +319,26 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         return self._envelope(
             request_id, "metrics", metrics=self.metrics.snapshot()
         )
+
+    def _op_events(self, request: dict, request_id: int) -> dict:
+        from repro.obs import filter_events
+
+        limit = request.get("limit")
+        if limit is not None and (not isinstance(limit, int) or limit < 0):
+            return self._error(
+                request_id, "events", f"limit must be a non-negative int, "
+                f"got {limit!r}"
+            )
+        try:
+            selected = filter_events(
+                self.event_buffer.records,
+                min_level=request.get("level"),
+                name=request.get("name"),
+                tail=limit,
+            )
+        except EventError as exc:
+            return self._error(request_id, "events", str(exc))
+        return self._envelope(request_id, "events", events=selected)
 
     def _op_shutdown(self, request: dict, request_id: int) -> dict:
         # shutdown() blocks until serve_forever() returns, so it must run

@@ -115,6 +115,32 @@ class TestHistogramQuantiles:
     def test_out_of_range_quantile_rejected(self):
         with pytest.raises(ValueError, match="quantile"):
             self._hist().quantile(1.5)
+        with pytest.raises(ValueError, match="quantile"):
+            self._hist().quantile(-0.1)
+
+    def test_empty_histogram_extreme_quantiles_are_none(self):
+        # q=0 and q=1 are valid requests; an empty histogram still has
+        # no answer for them (never 0.0, never NaN, never a raise).
+        hist = self._hist()
+        assert hist.quantile(0.0) is None
+        assert hist.quantile(1.0) is None
+
+    def test_snapshot_of_empty_histogram_is_well_formed(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_empty_seconds", buckets=(1.0,))
+        entry = registry.snapshot()["histograms"]["repro_empty_seconds"]
+        assert entry["count"] == 0
+        assert entry["sum"] == 0.0
+        assert entry["p50"] is None
+        assert entry["p95"] is None
+        assert entry["p99"] is None
+
+    def test_prometheus_rendering_of_empty_histogram(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_empty_seconds", buckets=(1.0,))
+        text = registry.render_prometheus()
+        assert "repro_empty_seconds_count 0" in text
+        assert "nan" not in text.lower()
 
     def test_snapshot_includes_estimates(self):
         registry = MetricsRegistry()

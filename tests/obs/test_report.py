@@ -1,0 +1,244 @@
+"""The HTML campaign dashboard: determinism, golden bytes, and the
+convergence-curve acceptance criterion (final point == recovery
+distance)."""
+
+from __future__ import annotations
+
+import itertools
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    EventLog,
+    JsonlEventWriter,
+    REPORT_SCHEMA,
+    render_report,
+    write_report,
+)
+
+GOLDEN = Path(__file__).parent / "golden" / "report.golden.html"
+
+
+def _reference_manifest() -> dict:
+    """A hand-built two-shard manifest: one recovered trial with
+    telemetry, one masked, one diverged, one infra-failed shard, and a
+    telemetry-free record as an old manifest would hold."""
+    return {
+        "schema": 1,
+        "fingerprint": "c0ffee" * 10 + "beef",
+        "config": {
+            "apps": ["wind_sensor"],
+            "mode": "stratified",
+            "trials": 4,
+            "strata": 2,
+            "max_sites": None,
+            "iterations": 8,
+            "burst": 1,
+            "seed": 7,
+            "shard_size": 2,
+            "step_budget": None,
+            "step_budget_factor": 64,
+            "histogram_bin": 8,
+        },
+        "site_totals": {"wind_sensor": 40},
+        "shards": {
+            "wind_sensor:0000": {
+                "status": "done",
+                "trials": [
+                    {
+                        "app": "wind_sensor", "site": 3,
+                        "verdict": "recovered",
+                        "injection_iteration": 2,
+                        "recovery_samples": 3,
+                        "recovery_iterations": 2,
+                        "error_log_size": 0,
+                        "telemetry": {
+                            "divergence": [0, 0, 2, 1, 0, 0, 0, 0],
+                            "convergence": [2, 3, 3, 3, 3, 3],
+                        },
+                    },
+                    {
+                        "app": "wind_sensor", "site": 11,
+                        "verdict": "masked",
+                        "injection_iteration": 1,
+                        "recovery_samples": None,
+                        "recovery_iterations": None,
+                        "error_log_size": 1,
+                        "telemetry": {
+                            "divergence": [0] * 8,
+                            "convergence": None,
+                        },
+                    },
+                ],
+                "obs": {
+                    "run_seconds": 0.25, "queue_wait_seconds": 0.05,
+                    "attempts": 1, "retries": 0, "timeouts": 0,
+                },
+            },
+            "wind_sensor:0001": {
+                "status": "done",
+                "trials": [
+                    {
+                        # A pre-telemetry record: no "telemetry" key.
+                        "app": "wind_sensor", "site": 23,
+                        "verdict": "diverged",
+                        "injection_iteration": 4,
+                        "recovery_samples": None,
+                        "recovery_iterations": None,
+                        "error_log_size": 0,
+                    },
+                ],
+                "obs": {
+                    "run_seconds": 0.5, "queue_wait_seconds": 0.1,
+                    "attempts": 2, "retries": 1, "timeouts": 0,
+                },
+            },
+            "wind_sensor:0002": {
+                "status": "infra-failed",
+                "reason": "timeout",
+                "message": "shard exceeded 120s",
+                "attempts": 3,
+            },
+        },
+    }
+
+
+def _reference_events(path: Path) -> None:
+    counter = itertools.count()
+    with JsonlEventWriter(path) as writer:
+        log = EventLog(
+            level="debug", sinks=(writer,),
+            clock=lambda: next(counter) * 0.5,
+        )
+        log.emit("campaign.plan", level="info", planned=3)
+        log.emit("trial.corrupted", "fault injected", site=3, iteration=2)
+        log.emit(
+            "trial.recovered", "outputs re-converged",
+            site=3, recovery_samples=3,
+        )
+        log.emit(
+            "campaign.shard", "given up on after retries",
+            level="error", shard_id="wind_sensor:0002", attempts=3,
+        )
+
+
+def _reference_bench() -> dict:
+    return json.loads(
+        (Path(__file__).parent / "golden" / "bench.golden.json").read_text()
+    )
+
+
+def _render(tmp_path: Path) -> str:
+    events_path = tmp_path / "events.jsonl"
+    _reference_events(events_path)
+    manifest_path = tmp_path / "manifest.json"
+    manifest_path.write_text(json.dumps(_reference_manifest()))
+    return write_report(
+        tmp_path / "report.html",
+        campaign_path=manifest_path,
+        events_path=events_path,
+        bench_paths=[
+            Path(__file__).parent / "golden" / "bench.golden.json"
+        ],
+    )
+
+
+class TestDeterminism:
+    def test_identical_inputs_identical_bytes(self, tmp_path):
+        first = _render(tmp_path / "a")
+        second = _render(tmp_path / "b")
+        (tmp_path / "a").mkdir(exist_ok=True)
+        assert first == second
+
+    def test_golden_report_is_byte_stable(self, tmp_path):
+        (tmp_path / "run").mkdir()
+        document = _render(tmp_path / "run")
+        assert document == GOLDEN.read_text(encoding="utf-8")
+
+    def test_no_timestamp_unless_asked(self):
+        page = render_report(campaign=_reference_manifest())
+        assert "Generated:" not in page
+        stamped = render_report(
+            campaign=_reference_manifest(),
+            generated_at="2026-01-01T00:00:00Z",
+        )
+        assert "Generated: 2026-01-01T00:00:00Z" in stamped
+
+
+class TestConvergenceCurves:
+    def test_final_point_matches_recovery_distance(self):
+        """Acceptance: every rendered curve's plateau equals the trial's
+        recorded recovery distance in samples."""
+        page = render_report(campaign=_reference_manifest())
+        curves = re.findall(
+            r'<svg[^>]*data-final="(\d+)"[^>]*'
+            r'data-recovery-samples="(\d+)"',
+            page,
+        )
+        assert curves, "no convergence curves rendered"
+        for final, recorded in curves:
+            assert final == recorded
+
+    def test_old_manifest_without_telemetry_still_renders(self):
+        manifest = _reference_manifest()
+        for shard in manifest["shards"].values():
+            for trial in shard.get("trials", []):
+                trial.pop("telemetry", None)
+        page = render_report(campaign=manifest)
+        assert "pre-telemetry" in page
+        assert 'data-report-schema="1"' in page
+
+    def test_curve_cap_is_announced(self):
+        from repro.obs.report import MAX_CURVES_PER_APP
+
+        manifest = _reference_manifest()
+        template = manifest["shards"]["wind_sensor:0000"]["trials"][0]
+        many = [
+            {**template, "site": site}
+            for site in range(MAX_CURVES_PER_APP + 5)
+        ]
+        manifest["shards"]["wind_sensor:0000"]["trials"] = many
+        page = render_report(campaign=manifest)
+        assert page.count("<figure") == MAX_CURVES_PER_APP
+        assert "5 more recovered trials not plotted" in page
+
+
+class TestSections:
+    def test_all_sections_present(self, tmp_path):
+        page = _render(tmp_path)
+        for heading in (
+            "Campaign configuration", "Verdicts", "Convergence curves",
+            "Recovery distance histogram", "Shard timeline", "Events",
+            "Benchmark trend",
+        ):
+            assert heading in page
+
+    def test_infra_failed_shard_marked(self, tmp_path):
+        page = _render(tmp_path)
+        assert "infra-failed" in page
+
+    def test_html_escaping(self):
+        manifest = _reference_manifest()
+        page = render_report(
+            campaign=manifest, title='<script>alert("x")</script>'
+        )
+        assert "<script>" not in page
+        assert "&lt;script&gt;" in page
+
+    def test_empty_report_says_so(self):
+        page = render_report()
+        assert "Nothing to report" in page
+        assert f'data-report-schema="{REPORT_SCHEMA}"' in page
+
+    def test_events_only_report(self, tmp_path):
+        events_path = tmp_path / "events.jsonl"
+        _reference_events(events_path)
+        document = write_report(
+            tmp_path / "out.html", events_path=events_path
+        )
+        assert "Events" in document
+        assert "Verdicts" not in document
+        assert "campaign.shard" in document

@@ -13,6 +13,7 @@ from repro.obs import (
     JsonlTraceWriter,
     RingBufferSink,
     TraceError,
+    TraceWarning,
     Tracer,
     aggregate_trace,
     format_aggregate_table,
@@ -208,6 +209,75 @@ class TestTraceValidation:
                 "start_seconds": 0, "duration_seconds": 0,
                 "cpu_seconds": 0, "attrs": {}, "counters": {},
             })
+
+
+class TestTruncatedTail:
+    """A writer killed mid-``os.write`` leaves a final line without a
+    trailing newline; the reader skips it with a warning instead of
+    rejecting every complete line before it."""
+
+    def _truncate_tail(self, path: Path, keep: int) -> None:
+        text = path.read_text()
+        lines = text.splitlines()
+        torn = lines[-1][:keep]  # cut mid-JSON, drop the newline
+        path.write_text("\n".join(lines[:-1]) + "\n" + torn)
+
+    def test_truncated_final_line_skipped_with_warning(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        complete = len(read_trace(path))
+        self._truncate_tail(path, keep=20)
+        with pytest.warns(TraceWarning, match="truncated final line"):
+            events = read_trace(path)
+        assert len(events) == complete - 1
+
+    def test_valid_unterminated_final_line_still_returned(self, tmp_path):
+        # The write made it out entirely except for... nothing: the JSON
+        # is complete, only the newline is missing.  Keep it.
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        complete = len(read_trace(path))
+        path.write_text(path.read_text().rstrip("\n"))
+        events = read_trace(path)
+        assert len(events) == complete
+
+    def test_corrupt_terminated_line_still_raises(self, tmp_path):
+        # Corruption on a newline-terminated line was a complete write:
+        # that is real damage, not a crashed writer.
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:20]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_truncated_validation_failure_also_skipped(self, tmp_path):
+        # The tail parses as JSON but fails schema validation (e.g. the
+        # attrs object was cut off and braces happened to balance) —
+        # same treatment as a parse failure.
+        path = tmp_path / "trace.jsonl"
+        _write_reference_trace(path)
+        complete = len(read_trace(path))
+        path.write_text(
+            path.read_text() + json.dumps({"schema": 1, "event": "span"})
+        )
+        with pytest.warns(TraceWarning, match="truncated final line"):
+            events = read_trace(path)
+        assert len(events) == complete
+
+    def test_events_reader_shares_the_tolerance(self, tmp_path):
+        from repro.obs import EventLog, JsonlEventWriter, read_events
+
+        path = tmp_path / "events.jsonl"
+        with JsonlEventWriter(path) as writer:
+            log = EventLog(sinks=(writer,))
+            log.emit("one")
+            log.emit("two")
+        self._truncate_tail(path, keep=10)
+        with pytest.warns(TraceWarning, match="truncated final line"):
+            records = read_events(path)
+        assert [r["name"] for r in records] == ["one"]
 
 
 class TestAggregate:
