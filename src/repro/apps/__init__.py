@@ -17,24 +17,32 @@ stabilization experiments.
 
 from repro.apps.registry import (
     APP_NAMES,
+    DIST_APP_NAMES,
     AppBundle,
+    all_app_names,
+    app_catalog,
     app_device_factory,
     app_experiment,
     app_path,
     app_source,
     load_app,
     programs_dir,
+    resolve_experiment,
     strip_location_annotations,
 )
 
 __all__ = [
     "APP_NAMES",
+    "DIST_APP_NAMES",
     "AppBundle",
+    "all_app_names",
+    "app_catalog",
     "app_device_factory",
     "app_experiment",
     "app_path",
     "app_source",
     "load_app",
     "programs_dir",
+    "resolve_experiment",
     "strip_location_annotations",
 ]

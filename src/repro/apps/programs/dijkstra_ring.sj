@@ -1,0 +1,43 @@
+// Dijkstra's K-state self-stabilizing token ring (EWD 426).
+//
+// One node of a unidirectional ring under a sequential daemon.  The
+// master (flag != 0) is privileged when its counter equals its left
+// neighbor's and then increments modulo K; every other node is
+// privileged when its counter differs from its left neighbor's and then
+// copies it.  With K at least the ring size, any configuration converges
+// to exactly one privilege circulating forever.
+//
+// Counters are folded into [0, K) at a strictly lower lattice location
+// before use — ((x % k) + k) % k is branch-free under Java remainder
+// semantics — so corrupted state re-enters the protocol alphabet on the
+// next read.
+
+public class DijkstraRing {
+  @LATTICE("OUT<NEXT,NEXT<CL,CL<IN")
+  public void stepLoop() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int rawSelf = Device.readSelf();
+      @LOC("IN") int rawLeft = Device.readLeft();
+      @LOC("IN") int k = Device.readParam();
+      @LOC("IN") int master = Device.readFlag();
+      @LOC("CL") int self = ((rawSelf % k) + k) % k;
+      @LOC("CL") int left = ((rawLeft % k) + k) % k;
+      @LOC("NEXT") int next;
+      if (master != 0) {
+        if (self == left) {
+          next = (self + 1) % k;
+        } else {
+          next = self;
+        }
+      } else {
+        if (self == left) {
+          next = self;
+        } else {
+          next = left;
+        }
+      }
+      SJ.broadcast(next);
+    }
+  }
+}

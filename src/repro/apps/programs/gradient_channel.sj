@@ -1,0 +1,69 @@
+// Composed self-stabilizing gradients: the "channel" pattern
+// (Damiani & Viroli, type-based self-stabilisation for computational
+// fields).  Three stacked gradient blocks, each individually
+// self-stabilizing, composed so the whole field stabilizes:
+//
+//   g1 — hop distance to source A,
+//   g2 — hop distance to source B,
+//   g3 — hop distance to the A-B channel corridor, the set of nodes
+//        with g1 + g2 <= limit (shortest-path distance plus a width
+//        allowance, delivered as a fabric parameter).
+//
+// g3's source predicate reads the *freshly computed* g1 and g2, so a
+// corruption in either input gradient perturbs g3 and the composite must
+// re-stabilize end to end — the compositionality experiment of ISSUE 6.
+//
+// Neighbor slots arrive as four (slot, component) triples padded with
+// the 9998 cap; all reads are clamped into the value domain at strictly
+// lower lattice locations before use.
+
+public class GradientChannel {
+  @LATTICE("OUT<NEXT,NEXT<G,G<CL,CL<IN")
+  public void stepLoop() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int srcA = Device.readFlag();
+      @LOC("IN") int srcB = Device.readFlag();
+      @LOC("IN") int limit = Device.readParam();
+      @LOC("IN") int a0 = Device.readNeighbor();
+      @LOC("IN") int b0 = Device.readNeighbor();
+      @LOC("IN") int c0 = Device.readNeighbor();
+      @LOC("IN") int a1 = Device.readNeighbor();
+      @LOC("IN") int b1 = Device.readNeighbor();
+      @LOC("IN") int c1 = Device.readNeighbor();
+      @LOC("IN") int a2 = Device.readNeighbor();
+      @LOC("IN") int b2 = Device.readNeighbor();
+      @LOC("IN") int c2 = Device.readNeighbor();
+      @LOC("IN") int a3 = Device.readNeighbor();
+      @LOC("IN") int b3 = Device.readNeighbor();
+      @LOC("IN") int c3 = Device.readNeighbor();
+      @LOC("CL") int ca0 = Math.min(Math.max(a0, 0), 9998);
+      @LOC("CL") int ca1 = Math.min(Math.max(a1, 0), 9998);
+      @LOC("CL") int ca2 = Math.min(Math.max(a2, 0), 9998);
+      @LOC("CL") int ca3 = Math.min(Math.max(a3, 0), 9998);
+      @LOC("CL") int cb0 = Math.min(Math.max(b0, 0), 9998);
+      @LOC("CL") int cb1 = Math.min(Math.max(b1, 0), 9998);
+      @LOC("CL") int cb2 = Math.min(Math.max(b2, 0), 9998);
+      @LOC("CL") int cb3 = Math.min(Math.max(b3, 0), 9998);
+      @LOC("CL") int cc0 = Math.min(Math.max(c0, 0), 9998);
+      @LOC("CL") int cc1 = Math.min(Math.max(c1, 0), 9998);
+      @LOC("CL") int cc2 = Math.min(Math.max(c2, 0), 9998);
+      @LOC("CL") int cc3 = Math.min(Math.max(c3, 0), 9998);
+      @LOC("G") int g1 = Math.min(Math.min(ca0, ca1), Math.min(ca2, ca3)) + 1;
+      if (srcA != 0) {
+        g1 = 0;
+      }
+      @LOC("G") int g2 = Math.min(Math.min(cb0, cb1), Math.min(cb2, cb3)) + 1;
+      if (srcB != 0) {
+        g2 = 0;
+      }
+      @LOC("NEXT") int g3 = Math.min(Math.min(cc0, cc1), Math.min(cc2, cc3)) + 1;
+      if (g1 + g2 <= limit) {
+        g3 = 0;
+      }
+      SJ.broadcast(g1);
+      SJ.broadcast(g2);
+      SJ.broadcast(g3);
+    }
+  }
+}

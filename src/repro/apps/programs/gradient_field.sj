@@ -1,0 +1,40 @@
+// Self-stabilizing gradient (hop-count) field.
+//
+// One node of an arbitrary topology.  The source broadcasts 0; every
+// other node broadcasts one more than the smallest neighbor value.  The
+// fabric always supplies four neighbor slots (the maximum degree of the
+// bundled topologies), padding absent neighbors with the 9998 cap, which
+// is neutral for the min — so the program is straight-line and a
+// corrupted loop bound can never cause a runaway.  After any single
+// corruption the field re-converges in at most diameter+1 synchronous
+// rounds (the healing wave trails the contamination wave by one round).
+//
+// Neighbor values are clamped into [0, 9998] through pure Math calls at
+// a strictly lower lattice location, so arbitrary corrupted integers
+// re-enter the field's value domain immediately.
+
+public class GradientField {
+  @LATTICE("OUT<NEXT,NEXT<ACC,ACC<CL,CL<IN")
+  public void stepLoop() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int source = Device.readFlag();
+      @LOC("IN") int n0 = Device.readNeighbor();
+      @LOC("IN") int n1 = Device.readNeighbor();
+      @LOC("IN") int n2 = Device.readNeighbor();
+      @LOC("IN") int n3 = Device.readNeighbor();
+      @LOC("CL") int c0 = Math.min(Math.max(n0, 0), 9998);
+      @LOC("CL") int c1 = Math.min(Math.max(n1, 0), 9998);
+      @LOC("CL") int c2 = Math.min(Math.max(n2, 0), 9998);
+      @LOC("CL") int c3 = Math.min(Math.max(n3, 0), 9998);
+      @LOC("ACC") int best = Math.min(Math.min(c0, c1), Math.min(c2, c3));
+      @LOC("NEXT") int next;
+      if (source != 0) {
+        next = 0;
+      } else {
+        next = best + 1;
+      }
+      SJ.broadcast(next);
+    }
+  }
+}

@@ -1,0 +1,40 @@
+// Herman's self-stabilizing token ring — random-bit interpretation.
+//
+// One node of the ring.  The fabric (repro.dist) delivers the node's own
+// bit and its left neighbor's bit through the device bus; the node holds
+// a token iff the two bits agree.  A token holder draws a fresh random
+// bit, a non-holder copies its left neighbor.  On a ring with an odd
+// number of nodes the token count is always odd, so every corruption
+// leaves at least one token and the random walks annihilate pairwise
+// until exactly one survives (expected O(N^2) rounds).
+//
+// Raw device values are clamped into {0,1} at a strictly lower lattice
+// location before use, so an arbitrarily corrupted state re-enters the
+// protocol alphabet after a single read.
+
+public class HermanBit {
+  @LATTICE("OUT<NEXT,NEXT<CL,CL<IN")
+  public void stepLoop() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int rawSelf = Device.readSelf();
+      @LOC("IN") int rawLeft = Device.readLeft();
+      @LOC("IN") int coin = Device.readCoin();
+      @LOC("CL") int self = 0;
+      if (rawSelf != 0) {
+        self = 1;
+      }
+      @LOC("CL") int left = 0;
+      if (rawLeft != 0) {
+        left = 1;
+      }
+      @LOC("NEXT") int next;
+      if (self == left) {
+        next = coin;
+      } else {
+        next = left;
+      }
+      SJ.broadcast(next);
+    }
+  }
+}

@@ -1,0 +1,39 @@
+// Herman's self-stabilizing token ring — random-pass interpretation.
+//
+// Same encoding as herman_bit (token iff own bit equals the left
+// neighbor's bit), but a token holder keeps or passes the token with
+// probability 1/2 by either keeping or flipping its own bit; non-holders
+// keep their bit unchanged.  Tokens perform lazy random walks and
+// annihilate in pairs; odd ring size keeps the token count odd, so one
+// token always survives.
+
+public class HermanPass {
+  @LATTICE("OUT<NEXT,NEXT<CL,CL<IN")
+  public void stepLoop() {
+    SSJAVA:
+    while (true) {
+      @LOC("IN") int rawSelf = Device.readSelf();
+      @LOC("IN") int rawLeft = Device.readLeft();
+      @LOC("IN") int coin = Device.readCoin();
+      @LOC("CL") int self = 0;
+      if (rawSelf != 0) {
+        self = 1;
+      }
+      @LOC("CL") int left = 0;
+      if (rawLeft != 0) {
+        left = 1;
+      }
+      @LOC("NEXT") int next;
+      if (self == left) {
+        if (coin != 0) {
+          next = 1 - self;
+        } else {
+          next = self;
+        }
+      } else {
+        next = self;
+      }
+      SJ.broadcast(next);
+    }
+  }
+}

@@ -24,6 +24,24 @@ APP_NAMES = (
     "heart_monitor",
 )
 
+#: Distributed apps (repro.dist): one fabric node's program each.  Kept
+#: out of APP_NAMES because single-node tooling (device generators,
+#: ``repro run``) cannot execute them without a fabric; the registry
+#: functions below accept both families.  The tuple lives here — plain
+#: data — so repro.dist can import it without a cycle.
+DIST_APP_NAMES = (
+    "herman_bit",
+    "herman_pass",
+    "dijkstra_ring",
+    "gradient_field",
+    "gradient_channel",
+)
+
+
+def all_app_names() -> tuple[str, ...]:
+    """Every registered app, single-node then distributed."""
+    return APP_NAMES + DIST_APP_NAMES
+
 #: Location annotations removed for the inference evaluation
 #: (Section 6.3.1: "we took the modified versions of the SJava benchmark
 #: and removed all of the location type annotations").  @TRUSTED,
@@ -58,14 +76,14 @@ def programs_dir() -> Path:
 
 def app_path(name: str) -> Path:
     """Filesystem path of one bundled app's source."""
-    if name not in APP_NAMES:
-        raise KeyError(f"unknown app {name!r}; available: {APP_NAMES}")
+    if name not in all_app_names():
+        raise KeyError(f"unknown app {name!r}; available: {all_app_names()}")
     return programs_dir() / f"{name}.sj"
 
 
 def app_source(name: str, annotated: bool = True) -> str:
-    if name not in APP_NAMES:
-        raise KeyError(f"unknown app {name!r}; available: {APP_NAMES}")
+    if name not in all_app_names():
+        raise KeyError(f"unknown app {name!r}; available: {all_app_names()}")
     source = (
         resources.files("repro.apps") / "programs" / f"{name}.sj"
     ).read_text(encoding="utf-8")
@@ -201,3 +219,78 @@ def app_experiment(
         step_budget=step_budget,
         step_budget_factor=step_budget_factor,
     )
+
+
+def resolve_experiment(
+    name: str,
+    iterations: int | None = None,
+    *,
+    step_budget: int | None = None,
+    step_budget_factor: int | None = None,
+):
+    """A stabilization experiment for *any* registered app — single-node
+    (:class:`StabilizationExperiment`) or distributed
+    (:class:`repro.dist.DistExperiment`, where ``iterations`` maps onto
+    fabric rounds).  The two expose the same trial interface, so
+    campaign workers need only this one entry point.  The dist import is
+    lazy to keep single-node paths free of the fabric machinery."""
+    if name in APP_NAMES:
+        return app_experiment(
+            name,
+            iterations,
+            step_budget=step_budget,
+            step_budget_factor=step_budget_factor,
+        )
+    if name in DIST_APP_NAMES:
+        from repro.dist import dist_app_experiment
+
+        return dist_app_experiment(
+            name,
+            iterations,
+            step_budget=step_budget,
+            step_budget_factor=step_budget_factor,
+        )
+    raise KeyError(f"unknown app {name!r}; available: {all_app_names()}")
+
+
+def _devices_used(source: str) -> list[str]:
+    """Device functions an app's source actually calls, in call order."""
+    seen: list[str] = []
+    for match in re.finditer(r"Device\.(read\w+)", source):
+        if match.group(1) not in seen:
+            seen.append(match.group(1))
+    return seen
+
+
+def app_catalog(with_sites: bool = False) -> list[dict]:
+    """One describing record per registered app (the ``repro apps``
+    listing).  ``with_sites=True`` additionally counts each app's
+    injectable corruption sites, which requires a clean reference run
+    per app and is therefore optional."""
+    catalog: list[dict] = []
+    for name in all_app_names():
+        distributed = name in DIST_APP_NAMES
+        record: dict = {
+            "name": name,
+            "kind": "distributed" if distributed else "single-node",
+            "devices": _devices_used(app_source(name)),
+        }
+        if distributed:
+            from repro.dist import dist_app_spec, make_topology
+
+            spec = dist_app_spec(name)
+            topology = make_topology(spec.topology)
+            record.update({
+                "summary": spec.summary,
+                "topology": spec.topology,
+                "scheduler": spec.scheduler,
+                "nodes": topology.nodes,
+                "rounds": spec.rounds,
+                "state_width": spec.state_width,
+            })
+        else:
+            record["iterations"] = DEFAULT_ITERATIONS[name]
+        if with_sites:
+            record["sites"] = resolve_experiment(name).total_steps()
+        catalog.append(record)
+    return catalog

@@ -362,6 +362,103 @@ def _run_campaign(args: argparse.Namespace, apps: tuple) -> int:
     return 0
 
 
+def cmd_apps(args: argparse.Namespace) -> int:
+    from repro.apps import app_catalog
+
+    catalog = app_catalog(with_sites=not args.no_sites)
+    if args.json:
+        print(json.dumps(catalog, sort_keys=True))
+        return 0
+    for entry in catalog:
+        sites = entry.get("sites")
+        extent = (
+            f"{entry['nodes']} nodes on {entry['topology']}, "
+            f"{entry['scheduler']}, {entry['rounds']} rounds"
+            if entry["kind"] == "distributed"
+            else f"{entry['iterations']} iterations"
+        )
+        sites_text = f"  sites {sites:5d}" if sites is not None else ""
+        print(
+            f"{entry['name']:<18} {entry['kind']:<12}{sites_text}  "
+            f"{extent}  devices: {', '.join(entry['devices'])}"
+        )
+    print(f"// {len(catalog)} registered apps", file=sys.stderr)
+    return 0
+
+
+def cmd_dist_run(args: argparse.Namespace) -> int:
+    from repro.dist import dist_app_experiment
+    from repro.obs.events import get_event_log
+    from repro.runtime.interpreter import state_digest
+
+    with _observed(args, "repro.dist.run", app=args.app):
+        try:
+            experiment = dist_app_experiment(
+                args.app,
+                args.rounds,
+                topology=args.topology,
+                scheduler=args.scheduler,
+                seed=args.seed,
+                step_budget_factor=args.step_budget_factor,
+            )
+        except (KeyError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        reference = experiment.reference()
+        events = get_event_log()
+        for round_index, states in enumerate(reference.trajectory):
+            events.emit(
+                "dist.round",
+                level="debug",
+                app=args.app,
+                round=round_index,
+                digest=state_digest([c for s in states for c in s]),
+            )
+        if args.inject is not None:
+            trial = experiment.trial_at(args.inject, seed=args.seed)
+            from repro.runtime.campaign import verdict_of
+
+            print(
+                f"site {trial.target_step} (node {trial.node}): "
+                f"{verdict_of(trial)}"
+                + (
+                    f", recovered in {trial.recovery_iterations} rounds"
+                    if trial.recovery_iterations is not None
+                    else ""
+                )
+            )
+            return 1 if trial.diverged else 0
+        topo = experiment.topology
+        print(
+            f"// {args.app}: {topo.nodes} nodes on {topo.spec} "
+            f"(diameter {topo.diameter}), scheduler "
+            f"{experiment.scheduler.name}, {len(reference.trajectory)} rounds, "
+            f"{reference.steps} steps, {experiment.total_steps()} "
+            f"injectable sites",
+            file=sys.stderr,
+        )
+        for node in range(topo.nodes):
+            trace = reference.node_trace(node)
+            print(
+                f"node {node}: final={trace[-1]} "
+                f"digest={reference.node_digest(node)}"
+            )
+        return 0
+
+
+def cmd_dist_campaign(args: argparse.Namespace) -> int:
+    from repro.apps import DIST_APP_NAMES
+
+    apps = (
+        tuple(DIST_APP_NAMES) if args.apps == "all"
+        else tuple(name.strip() for name in args.apps.split(",") if name.strip())
+    )
+    with _observed(
+        args, "repro.dist.campaign", mode=args.mode, jobs=args.jobs
+    ):
+        return _run_campaign(args, apps)
+
+
 def cmd_lattices(args: argparse.Namespace) -> int:
     info = _load(args.file)
     world = LocationWorld(info, DiagnosticSink())
@@ -671,6 +768,47 @@ def cmd_bench(args: argparse.Namespace) -> int:
         return 2
 
 
+def _add_campaign_arguments(campaign: argparse.ArgumentParser) -> None:
+    """Flags shared by the single-node and distributed campaign drivers."""
+    campaign.add_argument("--mode",
+                          choices=("exhaustive", "stratified", "uniform"),
+                          default="stratified",
+                          help="corruption-site plan (default: stratified)")
+    campaign.add_argument("--trials", type=int, default=64,
+                          help="per-app trials (stratified/uniform modes)")
+    campaign.add_argument("--strata", type=int, default=8,
+                          help="site-space slices for stratified mode")
+    campaign.add_argument("--max-sites", type=int, default=None,
+                          help="evenly thin exhaustive sweeps to this many "
+                               "sites per app")
+    campaign.add_argument("--iterations", type=int, default=None,
+                          help="event-loop iterations per run (fabric rounds "
+                               "for distributed apps; default: per-app "
+                               "registered length)")
+    campaign.add_argument("--burst", type=int, default=1,
+                          help="consecutive sites corrupted per trial")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--jobs", type=int, default=1,
+                          help="worker processes (1 = in-process)")
+    campaign.add_argument("--shard-size", type=int, default=16,
+                          help="trials per shard (checkpoint granularity)")
+    campaign.add_argument("--shard-timeout", type=float, default=120.0,
+                          help="wall-clock seconds per shard (needs --jobs > 1)")
+    campaign.add_argument("--step-budget-factor", type=int, default=64,
+                          help="watchdog: injected runs may use this multiple "
+                               "of the clean run's steps before counting as "
+                               "timeout")
+    campaign.add_argument("--checkpoint", default=None,
+                          help="manifest path; an interrupted campaign "
+                               "resumes from it")
+    campaign.add_argument("--fresh", action="store_true",
+                          help="discard an existing checkpoint")
+    campaign.add_argument("--report", default=None,
+                          help="also write the JSON report to this file")
+    campaign.add_argument("--json", action="store_true",
+                          help="emit the versioned JSON report on stdout")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -726,45 +864,57 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign.add_argument("--apps", default="all",
                           help="comma-separated registered app names "
-                               "(default: all)")
-    campaign.add_argument("--mode",
-                          choices=("exhaustive", "stratified", "uniform"),
-                          default="stratified",
-                          help="corruption-site plan (default: stratified)")
-    campaign.add_argument("--trials", type=int, default=64,
-                          help="per-app trials (stratified/uniform modes)")
-    campaign.add_argument("--strata", type=int, default=8,
-                          help="site-space slices for stratified mode")
-    campaign.add_argument("--max-sites", type=int, default=None,
-                          help="evenly thin exhaustive sweeps to this many "
-                               "sites per app")
-    campaign.add_argument("--iterations", type=int, default=None,
-                          help="event-loop iterations per run "
-                               "(default: per-app registered length)")
-    campaign.add_argument("--burst", type=int, default=1,
-                          help="consecutive sites corrupted per trial")
-    campaign.add_argument("--seed", type=int, default=0)
-    campaign.add_argument("--jobs", type=int, default=1,
-                          help="worker processes (1 = in-process)")
-    campaign.add_argument("--shard-size", type=int, default=16,
-                          help="trials per shard (checkpoint granularity)")
-    campaign.add_argument("--shard-timeout", type=float, default=120.0,
-                          help="wall-clock seconds per shard (needs --jobs > 1)")
-    campaign.add_argument("--step-budget-factor", type=int, default=64,
-                          help="watchdog: injected runs may use this multiple "
-                               "of the clean run's steps before counting as "
-                               "timeout")
-    campaign.add_argument("--checkpoint", default=None,
-                          help="manifest path; an interrupted campaign "
-                               "resumes from it")
-    campaign.add_argument("--fresh", action="store_true",
-                          help="discard an existing checkpoint")
-    campaign.add_argument("--report", default=None,
-                          help="also write the JSON report to this file")
-    campaign.add_argument("--json", action="store_true",
-                          help="emit the versioned JSON report on stdout")
+                               "(default: all single-node apps)")
+    _add_campaign_arguments(campaign)
     _add_obs_arguments(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    apps_cmd = sub.add_parser(
+        "apps", help="list registered apps (single-node and distributed)"
+    )
+    apps_cmd.add_argument("--json", action="store_true",
+                          help="emit the catalog as JSON")
+    apps_cmd.add_argument("--no-sites", action="store_true",
+                          help="skip counting injectable corruption sites "
+                               "(faster: no reference runs)")
+    apps_cmd.set_defaults(func=cmd_apps)
+
+    dist = sub.add_parser(
+        "dist",
+        help="distributed fabric: run a multi-node app or campaign it",
+    )
+    dist_sub = dist.add_subparsers(dest="dist_command", required=True)
+    dist_run = dist_sub.add_parser(
+        "run", help="simulate one distributed app on the fabric"
+    )
+    dist_run.add_argument("--app", required=True,
+                          help="a distributed app name (see repro apps)")
+    dist_run.add_argument("--topology", default=None,
+                          help="topology spec, e.g. ring:5, line:7, grid:3x3 "
+                               "(default: the app's registered topology)")
+    dist_run.add_argument("--scheduler", default=None,
+                          help="synchronous, round-robin, random, or biased "
+                               "(default: the app's registered scheduler)")
+    dist_run.add_argument("--rounds", type=int, default=None,
+                          help="fabric rounds in the injection horizon "
+                               "(default: the app's registered horizon)")
+    dist_run.add_argument("--seed", type=int, default=0)
+    dist_run.add_argument("--step-budget-factor", type=int, default=64)
+    dist_run.add_argument("--inject", type=int, default=None, metavar="SITE",
+                          help="run one injected trial at this composite "
+                               "site instead of printing the reference")
+    _add_obs_arguments(dist_run)
+    dist_run.set_defaults(func=cmd_dist_run)
+    dist_campaign = dist_sub.add_parser(
+        "campaign",
+        help="resumable fault-injection sweep across distributed apps",
+    )
+    dist_campaign.add_argument("--apps", default="all",
+                               help="comma-separated distributed app names "
+                                    "(default: all distributed apps)")
+    _add_campaign_arguments(dist_campaign)
+    _add_obs_arguments(dist_campaign)
+    dist_campaign.set_defaults(func=cmd_dist_campaign)
 
     lattices = sub.add_parser("lattices", help="render location lattices")
     lattices.add_argument("file")

@@ -1,0 +1,48 @@
+"""repro.dist — distributed self-stabilization on a simulated fabric.
+
+N pure-sjava program instances (one per node) execute on the unchanged
+single-node backends; a message-passing fabric with pluggable topologies
+(ring, line, grid) and schedulers (synchronous, round-robin, random,
+adversarially biased) delivers each node's view of its neighborhood
+through the ordinary DeviceBus.  Composite corruption sites (node x
+local site) make the whole fabric sweepable by the existing campaign
+machinery.  See docs/DISTRIBUTED.md.
+"""
+
+from repro.dist.harness import (
+    DistAppSpec,
+    DistExperiment,
+    NodeView,
+    SimResult,
+    coin_bit,
+)
+from repro.dist.registry import (
+    DIST_APP_NAMES,
+    dist_app_experiment,
+    dist_app_spec,
+)
+from repro.dist.scheduler import SCHEDULER_NAMES, Scheduler, make_scheduler
+from repro.dist.topology import (
+    TOPOLOGY_KINDS,
+    Topology,
+    TopologyError,
+    make_topology,
+)
+
+__all__ = [
+    "DIST_APP_NAMES",
+    "DistAppSpec",
+    "DistExperiment",
+    "NodeView",
+    "SCHEDULER_NAMES",
+    "Scheduler",
+    "SimResult",
+    "TOPOLOGY_KINDS",
+    "Topology",
+    "TopologyError",
+    "coin_bit",
+    "dist_app_experiment",
+    "dist_app_spec",
+    "make_scheduler",
+    "make_topology",
+]

@@ -1,0 +1,60 @@
+"""Activation schedulers — the fabric's daemon.
+
+Self-stabilization proofs quantify over the scheduler (the "daemon"),
+so the fabric makes it pluggable:
+
+* ``synchronous`` — every node activates each round on a snapshot of the
+  previous round's states (double-buffered commit); the model the
+  gradient diameter bound and synchronous Herman are stated in.
+* ``round-robin`` — one full sweep 0..N-1 per round with immediate
+  commits; the classic central-daemon model Dijkstra's ring assumes.
+* ``random`` — a seeded random permutation per round, immediate commits.
+* ``biased`` — an adversarially unfair daemon: N weighted draws (with
+  replacement, low node ids strongly favored) per round, so some nodes
+  can starve for many rounds.
+
+Schedules depend only on ``(seed, round)``, never on history, so the
+reference run and every injected run see the identical daemon — the
+property that makes trials comparable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+SCHEDULER_NAMES = ("synchronous", "round-robin", "random", "biased")
+
+
+class SchedulerError(ValueError):
+    """An unknown scheduler was requested."""
+
+
+@dataclass(frozen=True)
+class Scheduler:
+    name: str
+    #: Synchronous rounds snapshot states before activating anyone;
+    #: asynchronous rounds commit each activation immediately.
+    synchronous: bool
+    seed: int = 0
+
+    def order(self, round_index: int, nodes: int) -> list[int]:
+        """Activation order for one round."""
+        if self.name in ("synchronous", "round-robin"):
+            return list(range(nodes))
+        rng = random.Random(f"{self.seed}:{self.name}:{round_index}")
+        if self.name == "random":
+            order = list(range(nodes))
+            rng.shuffle(order)
+            return order
+        # biased: weighted draws with replacement favoring low ids
+        weights = [1.0 / (1 + i) ** 2 for i in range(nodes)]
+        return rng.choices(range(nodes), weights=weights, k=nodes)
+
+
+def make_scheduler(name: str, seed: int = 0) -> Scheduler:
+    if name not in SCHEDULER_NAMES:
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}"
+        )
+    return Scheduler(name=name, synchronous=(name == "synchronous"), seed=seed)

@@ -1,0 +1,119 @@
+"""Fabric topologies for distributed stabilization experiments.
+
+A topology is a small immutable graph: node count, per-node ordered
+neighbor lists, and the metric facts (diameter, pairwise distances) the
+convergence bounds are stated against.  Specs are compact strings so
+they fit in CLI flags and campaign configs:
+
+* ``ring:5``   — bidirectional ring of 5 nodes (``left`` is defined);
+* ``line:7``   — path graph of 7 nodes;
+* ``grid:3x3`` — 4-connected grid, row-major node numbering.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from functools import lru_cache
+
+TOPOLOGY_KINDS = ("ring", "line", "grid")
+
+
+class TopologyError(ValueError):
+    """A topology spec could not be parsed or is unusable."""
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An immutable fabric graph."""
+
+    kind: str
+    spec: str
+    nodes: int
+    #: Per-node ordered neighbor ids; order is the contract the
+    #: ``Device.readNeighbor`` slot numbering follows.
+    neighbors: tuple[tuple[int, ...], ...]
+
+    @property
+    def max_degree(self) -> int:
+        return max(len(n) for n in self.neighbors)
+
+    def left(self, node: int) -> int:
+        """The ring predecessor (token-ring programs read it as
+        ``Device.readLeft``)."""
+        if self.kind != "ring":
+            raise TopologyError(f"left() needs a ring, not {self.kind!r}")
+        return (node - 1) % self.nodes
+
+    def distances_from(self, start: int) -> tuple[int, ...]:
+        """BFS hop distances from ``start`` to every node."""
+        dist = [-1] * self.nodes
+        dist[start] = 0
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in self.neighbors[u]:
+                if dist[v] < 0:
+                    dist[v] = dist[u] + 1
+                    queue.append(v)
+        return tuple(dist)
+
+    def distance(self, a: int, b: int) -> int:
+        return self.distances_from(a)[b]
+
+    @property
+    def diameter(self) -> int:
+        return max(max(self.distances_from(u)) for u in range(self.nodes))
+
+
+def _ring(n: int) -> tuple[tuple[int, ...], ...]:
+    return tuple(((i - 1) % n, (i + 1) % n) for i in range(n))
+
+
+def _line(n: int) -> tuple[tuple[int, ...], ...]:
+    return tuple(
+        tuple(j for j in (i - 1, i + 1) if 0 <= j < n) for i in range(n)
+    )
+
+
+def _grid(rows: int, cols: int) -> tuple[tuple[int, ...], ...]:
+    def at(r: int, c: int) -> int:
+        return r * cols + c
+
+    out = []
+    for r in range(rows):
+        for c in range(cols):
+            cell = []
+            for dr, dc in ((-1, 0), (1, 0), (0, -1), (0, 1)):
+                rr, cc = r + dr, c + dc
+                if 0 <= rr < rows and 0 <= cc < cols:
+                    cell.append(at(rr, cc))
+            out.append(tuple(cell))
+    return tuple(out)
+
+
+@lru_cache(maxsize=None)
+def make_topology(spec: str) -> Topology:
+    """Parse a topology spec string (``ring:5``, ``line:7``, ``grid:3x3``)."""
+    kind, _, arg = spec.partition(":")
+    if kind not in TOPOLOGY_KINDS or not arg:
+        raise TopologyError(
+            f"bad topology spec {spec!r}; expected one of "
+            f"ring:N, line:N, grid:RxC"
+        )
+    try:
+        if kind == "grid":
+            rows_s, _, cols_s = arg.partition("x")
+            rows, cols = int(rows_s), int(cols_s)
+            if rows < 1 or cols < 1:
+                raise ValueError
+            neighbors = _grid(rows, cols)
+            n = rows * cols
+        else:
+            n = int(arg)
+            if n < 2 or (kind == "ring" and n < 3):
+                raise ValueError
+            neighbors = _ring(n) if kind == "ring" else _line(n)
+    except ValueError as exc:
+        raise TopologyError(f"bad topology spec {spec!r}") from exc
+    return Topology(kind=kind, spec=spec, nodes=n, neighbors=neighbors)

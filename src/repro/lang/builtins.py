@@ -112,6 +112,15 @@ DEVICE_FUNCTIONS: dict[str, BuiltinSig] = {
         "readSample": st.FLOAT,
         "readScale": st.FLOAT,
         "readHeader": st.INT,
+        # Distributed-node inputs (repro.dist): each node's view of the
+        # fabric arrives through the same DeviceBus mechanism as sensor
+        # input, so distributed programs stay pure sjava.
+        "readSelf": st.INT,
+        "readLeft": st.INT,
+        "readNeighbor": st.INT,
+        "readCoin": st.INT,
+        "readFlag": st.INT,
+        "readParam": st.INT,
     }.items()
 }
 

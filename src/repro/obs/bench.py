@@ -46,9 +46,11 @@ KIND_INFER = "infer"
 KIND_INTERPRETER = "interpreter-step"
 KIND_CAMPAIGN = "campaign-shard"
 KIND_SERVICE = "service-batch"
+KIND_DIST_RING = "dist-ring-step"
+KIND_DIST_CAMPAIGN = "dist-campaign-shard"
 
 KINDS = (KIND_CHECK, KIND_INFER, KIND_INTERPRETER, KIND_CAMPAIGN,
-         KIND_SERVICE)
+         KIND_SERVICE, KIND_DIST_RING, KIND_DIST_CAMPAIGN)
 
 #: Suites a scenario can belong to.  ``small`` is the CI smoke suite;
 #: ``full`` is every registered scenario.
@@ -189,6 +191,46 @@ def _campaign_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
     return Scenario(f"campaign-shard/{app}", KIND_CAMPAIGN, suites, build)
 
 
+def _dist_ring_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.dist import dist_app_experiment
+
+        experiment = dist_app_experiment(app)
+        rounds = experiment.horizon()
+
+        def op() -> dict:
+            # One full clean fabric simulation (every node activated on
+            # every round, per-activation engine runs included) — the
+            # inner loop every distributed trial pays.
+            result = experiment.simulate(rounds)
+            return {"rounds": rounds, "steps": result.steps}
+
+        return op
+
+    return Scenario(f"dist-ring-step/{app}", KIND_DIST_RING, suites, build)
+
+
+def _dist_campaign_scenario(app: str, suites: tuple[str, ...]) -> Scenario:
+    def build() -> Callable[[], dict]:
+        from repro.dist import dist_app_experiment
+
+        experiment = dist_app_experiment(app, step_budget_factor=64)
+        experiment.reference()  # cache the clean run outside the timer
+
+        def op() -> dict:
+            trials = experiment.run_trials(SHARD_TRIALS, seed=0)
+            return {
+                "trials": len(trials),
+                "diverged": sum(1 for t in trials if t.diverged),
+            }
+
+        return op
+
+    return Scenario(
+        f"dist-campaign-shard/{app}", KIND_DIST_CAMPAIGN, suites, build
+    )
+
+
 def _service_batch_scenario(suites: tuple[str, ...]) -> Scenario:
     def build() -> Callable[[], dict]:
         from repro.apps.registry import programs_dir
@@ -219,7 +261,7 @@ def _ensure_builtin() -> None:
     if _BUILTIN_READY:
         return
     _BUILTIN_READY = True
-    from repro.apps.registry import APP_NAMES
+    from repro.apps.registry import APP_NAMES, DIST_APP_NAMES
 
     small_app = "wind_sensor"
     for app in APP_NAMES:
@@ -229,6 +271,11 @@ def _ensure_builtin() -> None:
         register_scenario(_interpreter_scenario(app, suites))
         register_scenario(_campaign_scenario(app, suites))
     register_scenario(_service_batch_scenario(("small", "full")))
+    small_dist = "herman_bit"
+    for app in DIST_APP_NAMES:
+        suites = ("small", "full") if app == small_dist else ("full",)
+        register_scenario(_dist_ring_scenario(app, suites))
+        register_scenario(_dist_campaign_scenario(app, suites))
 
 
 def scenario_names(suite: str = "full") -> list[str]:

@@ -59,6 +59,9 @@ figure.curve figcaption { font-size: 0.75rem; color: #57606a; }
 svg .convergence { fill: none; stroke: #1a7f37; stroke-width: 1.5; }
 svg .divergence { fill: none; stroke: #cf222e; stroke-width: 1.5; }
 svg .axis { stroke: #d0d7de; stroke-width: 1; }
+svg .track { fill: #f6f8fa; }
+svg .cell { fill: #cf222e; }
+svg .inject { stroke: #0969da; stroke-dasharray: 2 2; }
 svg .bar { fill: #0969da; }
 svg .bar.infra-failed { fill: #cf222e; }
 svg text { font-size: 9px; fill: #57606a; }
@@ -273,6 +276,94 @@ def _curves_section(trials: list[dict]) -> str:
     return "".join(sections)
 
 
+def _node_figure(trial: dict) -> str:
+    """One divergence strip chart: a horizontal track per fabric node,
+    fabric rounds left to right, a red cell for every round in which
+    that node's committed state differed from the clean reference."""
+    matrix = (trial.get("telemetry") or {}).get("node_divergence") or []
+    rounds = len(matrix)
+    nodes = len(matrix[0]) if matrix else 0
+    cell, track_h, gap, label = 5.0, 7.0, 2.0, 26.0
+    width = label + rounds * cell
+    parts = []
+    for i in range(nodes):
+        y = i * (track_h + gap)
+        parts.append(f'<text x="0" y="{y + track_h - 1:.2f}">n{i}</text>')
+        parts.append(
+            f'<rect class="track" x="{label:g}" y="{y:.2f}" '
+            f'width="{rounds * cell:.2f}" height="{track_h:g}" />'
+        )
+        for r in range(rounds):
+            if matrix[r][i]:
+                parts.append(
+                    f'<rect class="cell" x="{label + r * cell:.2f}" '
+                    f'y="{y:.2f}" width="{cell:g}" height="{track_h:g}" />'
+                )
+    height = nodes * (track_h + gap)
+    injection = trial.get("injection_iteration")
+    if injection is not None and rounds:
+        x = label + (injection + 0.5) * cell
+        parts.append(
+            f'<line class="inject" x1="{x:.2f}" y1="0" x2="{x:.2f}" '
+            f'y2="{height - gap:.2f}" />'
+        )
+    svg = _tag(
+        "svg", "".join(parts),
+        viewBox=f"0 0 {width:g} {height:g}",
+        width=f"{width:g}", height=f"{height:g}",
+        data_app=trial["app"],
+        data_site=trial["site"],
+        data_node=trial.get("node"),
+        data_nodes=nodes,
+        data_rounds=rounds,
+    )
+    caption = (
+        f'site {_esc(trial["site"])} · node {_esc(trial.get("node"))} · '
+        f'{_esc(trial["verdict"])}'
+    )
+    return _tag(
+        "figure", svg + f"<figcaption>{caption}</figcaption>", **{
+            "class": "curve",
+        }
+    )
+
+
+def _nodes_section(trials: list[dict]) -> str:
+    """Per-node divergence strips for distributed trials (trials whose
+    telemetry carries the ``node_divergence`` matrix)."""
+    with_nodes = [
+        t for t in trials
+        if (t.get("telemetry") or {}).get("node_divergence")
+    ]
+    if not with_nodes:
+        return ""
+    sections = [
+        "<h2>Per-node divergence</h2>",
+        '<p class="note">One strip per fabric node, rounds left to '
+        "right; red cells mark rounds where that node's committed state "
+        "differs from the clean reference, and the dashed line is the "
+        "injection round.</p>",
+    ]
+    by_app: dict[str, list[dict]] = {}
+    for trial in with_nodes:
+        by_app.setdefault(trial["app"], []).append(trial)
+    for app in sorted(by_app):
+        shown = by_app[app][:MAX_CURVES_PER_APP]
+        dropped = len(by_app[app]) - len(shown)
+        sections.append(f"<h3>{_esc(app)}</h3>")
+        sections.append(_tag(
+            "div", "".join(_node_figure(t) for t in shown), **{
+                "class": "curves",
+            }
+        ))
+        if dropped:
+            sections.append(
+                f'<p class="note">{dropped} more trials not plotted '
+                f"(cap: {MAX_CURVES_PER_APP} strips per app).</p>"
+            )
+    return "".join(sections)
+
+
 def _timeline_section(manifest: dict) -> str:
     shards = manifest.get("shards", {})
     if not shards:
@@ -411,9 +502,20 @@ def render_report(
     if campaign is not None:
         trials = _campaign_trials(campaign)
         sections.append(_config_section(campaign))
-        sections.append(_summary_section(campaign, trials))
-        sections.append(_curves_section(trials))
-        sections.append(_histogram_section(campaign, trials))
+        if trials:
+            sections.append(_summary_section(campaign, trials))
+            sections.append(_curves_section(trials))
+            sections.append(_nodes_section(trials))
+            sections.append(_histogram_section(campaign, trials))
+        else:
+            # A manifest with zero completed trials (still running,
+            # fully infra-failed, or planned empty) must still render a
+            # valid page, not a table of vacuous zeros.
+            sections.append(
+                "<h2>Verdicts</h2>"
+                '<p class="note">No completed trials in this manifest '
+                "— nothing to summarize yet.</p>"
+            )
         sections.append(_timeline_section(campaign))
     if events:
         sections.append(_events_section(events))

@@ -39,7 +39,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.apps import APP_NAMES, app_experiment
+from repro.apps import all_app_names, resolve_experiment
 from repro.obs import get_tracer, global_registry
 from repro.obs.events import get_event_log
 from repro.runtime.stabilization import InjectionTrial
@@ -97,10 +97,10 @@ class CampaignConfig:
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise CampaignError(f"unknown campaign mode {self.mode!r}")
-        unknown = [a for a in self.apps if a not in APP_NAMES]
+        unknown = [a for a in self.apps if a not in all_app_names()]
         if unknown:
             raise CampaignError(
-                f"unknown apps {unknown}; registered: {list(APP_NAMES)}"
+                f"unknown apps {unknown}; registered: {list(all_app_names())}"
             )
         if not self.apps:
             raise CampaignError("campaign needs at least one app")
@@ -256,6 +256,14 @@ def trial_record(app: str, trial: InjectionTrial) -> dict:
             "divergence": trial.divergence,
             "convergence": trial.convergence,
         }
+    # Distributed trials (repro.dist) additionally carry the injected
+    # node and per-node fabric telemetry — additive for the same reason.
+    if trial.node is not None:
+        record["node"] = trial.node
+        if trial.node_divergence is not None or trial.node_digests is not None:
+            record.setdefault("telemetry", {})
+            record["telemetry"]["node_divergence"] = trial.node_divergence
+            record["telemetry"]["node_digests"] = trial.node_digests
     return record
 
 
@@ -267,6 +275,8 @@ def trial_telemetry(trial: dict) -> dict:
     return {
         "divergence": telemetry.get("divergence"),
         "convergence": telemetry.get("convergence"),
+        "node_divergence": telemetry.get("node_divergence"),
+        "node_digests": telemetry.get("node_digests"),
     }
 
 
@@ -276,7 +286,7 @@ def run_shard(payload: dict) -> dict:
     the worker side, so the driver can split a shard's settle latency
     into execution time and queue wait."""
     start = time.perf_counter()
-    experiment = app_experiment(
+    experiment = resolve_experiment(
         payload["app"],
         payload.get("iterations"),
         step_budget=payload.get("step_budget"),
@@ -429,7 +439,9 @@ class CampaignRunner:
         site_totals = manifest.get("site_totals") if manifest else None
         if site_totals is None:
             site_totals = {
-                app: app_experiment(app, self.config.iterations).total_steps()
+                app: resolve_experiment(
+                    app, self.config.iterations
+                ).total_steps()
                 for app in self.config.apps
             }
         planned = plan_shards(self.config, site_totals)

@@ -60,6 +60,14 @@ class InjectionTrial:
     #: ``recovery_samples`` (:func:`convergence_series`).
     divergence: Optional[list[int]] = None
     convergence: Optional[list[int]] = None
+    #: Distributed-trial extras (repro.dist), all additive: the node the
+    #: fault was injected into, the per-round per-node divergence matrix
+    #: (``node_divergence[r][i]`` is 1 when node ``i``'s state differs
+    #: from the reference after round ``r``), and one CRC32 digest per
+    #: node over its full state trajectory.  None for single-node trials.
+    node: Optional[int] = None
+    node_divergence: Optional[list[list[int]]] = None
+    node_digests: Optional[list[str]] = None
 
 
 def recovery_distance(

@@ -1,0 +1,149 @@
+"""Distributed campaigns through the ordinary driver: composite-site
+sweeps, checkpoint/resume, and the additive manifest schema (old
+single-node manifests keep loading and resuming)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.dist import dist_app_experiment
+from repro.obs.report import render_report
+from repro.runtime.campaign import (
+    CampaignConfig,
+    CampaignRunner,
+    trial_record,
+    trial_telemetry,
+)
+
+
+def dist_config(**overrides) -> CampaignConfig:
+    base = dict(
+        apps=("herman_bit",),
+        mode="stratified",
+        trials=6,
+        strata=3,
+        seed=5,
+        shard_size=2,
+        step_budget_factor=64,
+    )
+    base.update(overrides)
+    return CampaignConfig(**base)
+
+
+class TestDistCampaignRun:
+    def test_run_completes_and_records_nodes(self, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        report = CampaignRunner(
+            config=dist_config(), checkpoint_path=checkpoint
+        ).run()
+        assert report["complete"] is True
+        (entry,) = report["apps"]
+        assert entry["trials"] == 6
+        assert entry["diverged"] == 0
+        manifest = json.loads(checkpoint.read_text())
+        records = [
+            trial for shard in manifest["shards"].values()
+            for trial in shard.get("trials", [])
+        ]
+        assert records
+        for record in records:
+            assert "node" in record
+            telemetry = trial_telemetry(record)
+            if record["verdict"] in ("masked", "recovered"):
+                assert telemetry["node_divergence"] is not None
+                assert telemetry["node_digests"] is not None
+                assert len(telemetry["node_digests"]) == 5
+
+    def test_interrupted_dist_campaign_resumes_identically(self, tmp_path):
+        config = dist_config()
+        baseline = CampaignRunner(
+            config=config, checkpoint_path=tmp_path / "base.json"
+        ).run()
+        checkpoint = tmp_path / "ck.json"
+        first = CampaignRunner(
+            config=config, checkpoint_path=checkpoint, stop_after_shards=1
+        )
+        assert first.run()["complete"] is False
+        second = CampaignRunner(config=config, checkpoint_path=checkpoint)
+        resumed = second.run()
+        assert second.executed_shards == 2
+        assert resumed["complete"] is True
+        assert resumed["apps"] == baseline["apps"]
+
+    def test_mixed_single_node_and_dist_campaign(self, tmp_path):
+        config = dist_config(
+            apps=("wind_sensor", "herman_bit"), trials=4, strata=2
+        )
+        report = CampaignRunner(
+            config=config, checkpoint_path=tmp_path / "ck.json"
+        ).run()
+        assert report["complete"] is True
+        assert [entry["app"] for entry in report["apps"]] == [
+            "wind_sensor", "herman_bit",
+        ]
+
+    def test_dist_manifest_renders_with_per_node_panel(self, tmp_path):
+        checkpoint = tmp_path / "ck.json"
+        CampaignRunner(
+            config=dist_config(mode="exhaustive", max_sites=8, trials=0),
+            checkpoint_path=checkpoint,
+        ).run()
+        manifest = json.loads(checkpoint.read_text())
+        page = render_report(campaign=manifest)
+        assert "Per-node divergence" in page
+
+
+class TestAdditiveSchema:
+    def test_single_node_records_lack_dist_keys(self):
+        """The dist keys are strictly additive: a single-node trial
+        record is exactly the old shape (no ``node``, no per-node
+        telemetry), so manifests written by this build stay readable by
+        old readers and vice versa."""
+        from repro.apps import resolve_experiment
+
+        experiment = resolve_experiment("wind_sensor", 12)
+        record = trial_record(
+            "wind_sensor", experiment.trial_at(3, seed=0)
+        )
+        assert "node" not in record
+        telemetry = trial_telemetry(record)
+        assert telemetry["node_divergence"] is None
+        assert telemetry["node_digests"] is None
+
+    def test_dist_records_are_a_superset(self):
+        experiment = dist_app_experiment("herman_bit")
+        site = experiment.total_steps() // 2
+        record = trial_record("herman_bit", experiment.trial_at(site, seed=1))
+        for key in (
+            "app", "site", "verdict", "injection_iteration",
+            "recovery_samples", "recovery_iterations", "error_log_size",
+        ):
+            assert key in record
+        assert isinstance(record["node"], int)
+
+    def test_old_single_node_manifest_still_resumes(self, tmp_path):
+        """A pre-dist manifest (single-node apps, records without the
+        ``node`` key) written by the same config still loads and resumes
+        to completion — the config fingerprint gained no new fields."""
+        config = CampaignConfig(
+            apps=("wind_sensor",), mode="stratified", trials=4, strata=2,
+            seed=7, shard_size=2,
+        )
+        checkpoint = tmp_path / "old.json"
+        partial = CampaignRunner(
+            config=config, checkpoint_path=checkpoint, stop_after_shards=1
+        )
+        partial.run()
+        manifest = json.loads(checkpoint.read_text())
+        for shard in manifest["shards"].values():
+            for trial in shard.get("trials", []):
+                trial.pop("node", None)
+                telemetry = trial.get("telemetry")
+                if telemetry:
+                    telemetry.pop("node_divergence", None)
+                    telemetry.pop("node_digests", None)
+        checkpoint.write_text(json.dumps(manifest))
+        resumed = CampaignRunner(config=config, checkpoint_path=checkpoint)
+        report = resumed.run()
+        assert report["complete"] is True
+        assert resumed.executed_shards == 1

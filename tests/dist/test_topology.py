@@ -1,0 +1,87 @@
+"""Topologies: shapes, neighbor tables, BFS distances, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dist import TOPOLOGY_KINDS, TopologyError, make_topology
+
+
+class TestRing:
+    def test_shape(self):
+        topo = make_topology("ring:5")
+        assert topo.kind == "ring"
+        assert topo.nodes == 5
+        assert topo.diameter == 2
+        for node in range(5):
+            assert sorted(topo.neighbors[node]) == sorted(
+                [(node - 1) % 5, (node + 1) % 5]
+            )
+
+    def test_left_is_the_predecessor(self):
+        topo = make_topology("ring:5")
+        assert topo.left(0) == 4
+        assert topo.left(3) == 2
+
+    def test_left_rejected_off_ring(self):
+        with pytest.raises(TopologyError):
+            make_topology("line:4").left(1)
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            make_topology("ring:2")
+
+
+class TestLine:
+    def test_shape(self):
+        topo = make_topology("line:7")
+        assert topo.nodes == 7
+        assert topo.diameter == 6
+        assert topo.neighbors[0] == (1,)
+        assert topo.neighbors[6] == (5,)
+        assert sorted(topo.neighbors[3]) == [2, 4]
+
+
+class TestGrid:
+    def test_shape(self):
+        topo = make_topology("grid:3x3")
+        assert topo.nodes == 9
+        assert topo.diameter == 4
+        # row-major: corners have degree 2, the center degree 4
+        assert len(topo.neighbors[0]) == 2
+        assert len(topo.neighbors[4]) == 4
+        assert sorted(topo.neighbors[4]) == [1, 3, 5, 7]
+
+    def test_max_degree(self):
+        assert make_topology("grid:3x3").max_degree == 4
+        assert make_topology("ring:5").max_degree == 2
+
+
+class TestDistances:
+    def test_bfs_symmetry_and_triangle(self):
+        topo = make_topology("grid:3x3")
+        for a in range(topo.nodes):
+            for b in range(topo.nodes):
+                assert topo.distance(a, b) == topo.distance(b, a)
+                assert topo.distance(a, b) <= topo.diameter
+
+    def test_ring_distance(self):
+        topo = make_topology("ring:5")
+        assert topo.distance(0, 2) == 2
+        assert topo.distance(0, 3) == 2  # the short way around
+
+
+class TestParsing:
+    def test_kinds_exported(self):
+        assert set(TOPOLOGY_KINDS) == {"ring", "line", "grid"}
+
+    @pytest.mark.parametrize("spec", [
+        "ring", "ring:", "ring:abc", "torus:5", "grid:3", "grid:0x3",
+        "line:1", "",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(TopologyError):
+            make_topology(spec)
+
+    def test_topologies_are_cached(self):
+        assert make_topology("ring:5") is make_topology("ring:5")

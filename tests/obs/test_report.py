@@ -206,6 +206,65 @@ class TestConvergenceCurves:
         assert "5 more recovered trials not plotted" in page
 
 
+def _distributed_manifest() -> dict:
+    """A minimal dist-campaign manifest: one recovered trial carrying
+    the per-node divergence matrix (rounds x nodes) and node digests."""
+    return {
+        "schema": 1,
+        "fingerprint": "deadbeef" * 8,
+        "config": {"apps": ["herman_bit"], "mode": "exhaustive"},
+        "site_totals": {"herman_bit": 548},
+        "shards": {
+            "herman_bit:0000": {
+                "status": "done",
+                "trials": [
+                    {
+                        "app": "herman_bit", "site": 117, "node": 1,
+                        "verdict": "recovered",
+                        "injection_iteration": 3,
+                        "recovery_samples": 10,
+                        "recovery_iterations": 2,
+                        "error_log_size": 0,
+                        "telemetry": {
+                            "divergence": [0, 0, 0, 2, 1, 0, 0, 0],
+                            "convergence": [5, 10, 10, 10, 10],
+                            "node_divergence": [
+                                [0, 0, 0, 0, 0],
+                                [0, 0, 0, 0, 0],
+                                [0, 0, 0, 0, 0],
+                                [0, 1, 1, 0, 0],
+                                [0, 0, 1, 0, 0],
+                                [0, 0, 0, 0, 0],
+                                [0, 0, 0, 0, 0],
+                                [0, 0, 0, 0, 0],
+                            ],
+                            "node_digests": ["ab"] * 5,
+                        },
+                    },
+                ],
+                "obs": {"run_seconds": 0.1},
+            },
+        },
+    }
+
+
+class TestPerNodePanel:
+    def test_node_strips_rendered(self):
+        page = render_report(campaign=_distributed_manifest())
+        assert "Per-node divergence" in page
+        assert 'data-nodes="5"' in page
+        assert 'data-rounds="8"' in page
+        assert 'data-node="1"' in page
+        # three divergent (round, node) pairs -> three red cells
+        assert page.count('class="cell"') == 3
+        # the injection-round marker is present
+        assert 'class="inject"' in page
+
+    def test_single_node_manifest_has_no_panel(self):
+        page = render_report(campaign=_reference_manifest())
+        assert "Per-node divergence" not in page
+
+
 class TestSections:
     def test_all_sections_present(self, tmp_path):
         page = _render(tmp_path)
@@ -232,6 +291,33 @@ class TestSections:
         page = render_report()
         assert "Nothing to report" in page
         assert f'data-report-schema="{REPORT_SCHEMA}"' in page
+
+    def test_zero_trial_manifest_renders_no_trials_page(self, tmp_path):
+        """Regression: a checkpoint written before any shard completed
+        (or one that planned zero trials) must render a valid page with
+        an explicit note, not a table of vacuous zeros."""
+        manifest = _reference_manifest()
+        manifest["shards"] = {}
+        manifest_path = tmp_path / "empty.json"
+        manifest_path.write_text(json.dumps(manifest))
+        document = write_report(
+            tmp_path / "out.html", campaign_path=manifest_path
+        )
+        assert "No completed trials" in document
+        assert "Campaign configuration" in document
+        assert f'data-report-schema="{REPORT_SCHEMA}"' in document
+
+    def test_bare_manifest_object_renders(self):
+        page = render_report(campaign={})
+        assert "No completed trials" in page
+
+    def test_in_flight_manifest_keeps_timeline(self):
+        manifest = _reference_manifest()
+        for shard in manifest["shards"].values():
+            shard["status"] = "running"
+        page = render_report(campaign=manifest)
+        assert "No completed trials" in page
+        assert "Shard timeline" in page
 
     def test_events_only_report(self, tmp_path):
         events_path = tmp_path / "events.jsonl"

@@ -180,6 +180,7 @@ class TestManifestPersistence:
     def test_trial_telemetry_tolerates_old_records(self):
         assert trial_telemetry({"app": "x", "verdict": "masked"}) == {
             "divergence": None, "convergence": None,
+            "node_divergence": None, "node_digests": None,
         }
 
     def test_campaign_manifest_carries_telemetry(self, tmp_path):

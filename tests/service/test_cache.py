@@ -154,10 +154,10 @@ class TestDiskCorruptionTolerance:
 
 class TestWarmRunSpeedup:
     def test_warm_disk_cache_is_5x_faster(self, tmp_path, app_files):
-        """Acceptance criterion: a second batch run over the six bundled
+        """Acceptance criterion: a second batch run over the bundled
         apps with a warm disk cache re-checks unchanged files at least
         5× faster.  Threshold is generous — observed is 20–50×."""
-        assert len(app_files) == 6
+        assert len(app_files) >= 6
 
         cold_pool = CheckerPool(max_workers=1,
                                 cache=ResultCache(disk_dir=tmp_path))

@@ -14,6 +14,7 @@ from repro.service import protocol
 GOLDEN_DIR = Path(__file__).parent / "golden"
 PROGRAMS = str(programs_dir())
 WIND = str(programs_dir() / "wind_sensor.sj")
+N_PROGRAMS = len(list(programs_dir().glob("*.sj")))
 
 #: Fields that vary run-to-run / machine-to-machine.
 VOLATILE = ("file", "elapsed_seconds", "timings")
@@ -63,25 +64,26 @@ class TestInferJson:
 class TestBatch:
     def test_batch_over_bundled_apps(self, tmp_path, capsys):
         """Acceptance criterion: ``repro batch src/repro/apps/programs``
-        checks all six apps with per-file verdicts and timings."""
+        checks every bundled app with per-file verdicts and timings."""
         assert main([
             "batch", PROGRAMS, "--cache-dir", str(tmp_path)
         ]) == 0
         out = capsys.readouterr().out
         lines = out.strip().splitlines()
-        assert len(lines) == 8  # six files + summary + cache stats
-        assert all("pass" in line for line in lines[:6])
-        assert all("ms" in line for line in lines[:6])
-        assert "6/6 self-stabilizing" in lines[-2]
+        assert len(lines) == N_PROGRAMS + 2  # files + summary + cache stats
+        assert all("pass" in line for line in lines[:N_PROGRAMS])
+        assert all("ms" in line for line in lines[:N_PROGRAMS])
+        assert f"{N_PROGRAMS}/{N_PROGRAMS} self-stabilizing" in lines[-2]
         assert lines[-1].startswith("// cache:")
-        assert "6 stores" in lines[-1]
+        assert f"{N_PROGRAMS} stores" in lines[-1]
 
     def test_warm_batch_reports_cache_hits(self, tmp_path, capsys):
         assert main(["batch", PROGRAMS, "--cache-dir", str(tmp_path)]) == 0
         capsys.readouterr()
         assert main(["batch", PROGRAMS, "--cache-dir", str(tmp_path)]) == 0
         cache_line = capsys.readouterr().out.strip().splitlines()[-1]
-        assert "6 disk hits" in cache_line or "6 memory hits" in cache_line
+        assert (f"{N_PROGRAMS} disk hits" in cache_line
+                or f"{N_PROGRAMS} memory hits" in cache_line)
         assert "0 misses" in cache_line
 
     def test_second_run_hits_cache(self, tmp_path, capsys):
@@ -89,7 +91,7 @@ class TestBatch:
         capsys.readouterr()
         assert main(["batch", PROGRAMS, "--cache-dir", str(tmp_path)]) == 0
         out = capsys.readouterr().out
-        assert "6 from cache" in out
+        assert f"{N_PROGRAMS} from cache" in out
 
     def test_batch_json(self, tmp_path, capsys):
         assert main([
@@ -97,7 +99,7 @@ class TestBatch:
         ]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["kind"] == "batch"
-        assert len(payload["results"]) == 6
+        assert len(payload["results"]) == N_PROGRAMS
         assert all(r["verdict"] == "pass" for r in payload["results"])
 
     def test_failing_file_fails_the_batch(self, tmp_path, broken_source, capsys):

@@ -34,7 +34,7 @@ class TestTimedCheck:
 class TestBatchVerdicts:
     def test_all_bundled_apps_pass_with_timings(self, app_files):
         """Acceptance criterion: batch over the bundled programs yields a
-        per-file verdict and timing for all six apps."""
+        per-file verdict and timing for every app."""
         results = CheckerPool(max_workers=1).check_paths(app_files)
         assert [r.path for r in results] == [str(p) for p in app_files]
         assert all(r.verdict == PASS for r in results)

@@ -122,3 +122,59 @@ class TestLattices:
         out = capsys.readouterr().out
         assert "digraph" in out
         assert "->" in out
+
+
+class TestApps:
+    def test_listing_names_every_app(self, capsys):
+        from repro.apps import all_app_names
+
+        assert main(["apps", "--no-sites"]) == 0
+        out = capsys.readouterr().out
+        for name in all_app_names():
+            assert name in out
+        assert "single-node" in out and "distributed" in out
+
+    def test_json_catalog(self, capsys):
+        import json
+
+        assert main(["apps", "--json", "--no-sites"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in catalog}
+        assert by_name["wind_sensor"]["kind"] == "single-node"
+        assert by_name["herman_bit"]["kind"] == "distributed"
+        assert by_name["herman_bit"]["topology"] == "ring:5"
+        assert by_name["herman_bit"]["devices"] == [
+            "readSelf", "readLeft", "readCoin",
+        ]
+        assert "sites" not in by_name["wind_sensor"]
+
+    def test_site_counts_included_by_default(self, capsys):
+        assert main(["apps", "--json"]) == 0
+        import json
+
+        catalog = json.loads(capsys.readouterr().out)
+        assert all(entry["sites"] > 0 for entry in catalog)
+
+
+class TestDist:
+    def test_run_prints_reference_summary(self, capsys):
+        assert main(["dist", "run", "--app", "dijkstra_ring"]) == 0
+        captured = capsys.readouterr()
+        assert "dijkstra_ring" in captured.err  # topology summary
+        assert "node 0:" in captured.out and "node 4:" in captured.out
+
+    def test_run_with_injection_reports_verdict(self, capsys):
+        assert main([
+            "dist", "run", "--app", "gradient_field", "--inject", "500",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "site 500" in out
+
+    def test_unknown_app_is_a_usage_error(self, capsys):
+        assert main(["dist", "run", "--app", "nonexistent"]) == 2
+
+    def test_topology_override_validated(self, capsys):
+        assert main([
+            "dist", "run", "--app", "herman_bit", "--topology", "ring:4",
+        ]) == 2
+        assert "odd ring" in capsys.readouterr().err

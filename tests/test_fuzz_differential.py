@@ -9,8 +9,10 @@ must agree for injections to land identically).
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 
+from repro.apps import DIST_APP_NAMES
 from repro.runtime import ErrorInjector, Interpreter, RuntimeOptions
 from repro.runtime.compiler import CompiledRunner
 from repro.runtime.devices import IterationKeyedDevice
@@ -50,3 +52,36 @@ class TestBackendEquivalence:
         # the injectable-site numbering agrees exactly
         assert injectors[0].step == injectors[1].step
         assert injectors[0].injected_at == injectors[1].injected_at
+
+
+class TestDistributedBackendEquivalence:
+    """The fabric runs each node activation on an unchanged single-node
+    backend; a whole multi-node simulation must therefore be
+    backend-independent down to the per-node state digests."""
+
+    @pytest.mark.parametrize("app", DIST_APP_NAMES)
+    def test_clean_fabric_digests_identical(self, app):
+        from repro.dist import dist_app_experiment
+
+        results = []
+        for engine in (Interpreter, CompiledRunner):
+            experiment = dist_app_experiment(app, engine=engine)
+            sim = experiment.reference()
+            results.append((
+                sim.trajectory,
+                [sim.node_digest(i) for i in range(experiment.nodes)],
+            ))
+        assert results[0] == results[1]
+
+    def test_injected_fabric_trials_identical(self):
+        from repro.dist import dist_app_experiment
+        from repro.runtime.campaign import trial_record
+
+        records = []
+        for engine in (Interpreter, CompiledRunner):
+            experiment = dist_app_experiment("herman_bit", engine=engine)
+            site = experiment.total_steps() // 2
+            records.append(
+                trial_record("herman_bit", experiment.trial_at(site, seed=2))
+            )
+        assert records[0] == records[1]
