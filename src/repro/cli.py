@@ -13,6 +13,10 @@ Subcommands mirror the workflow of the paper's tool:
   across the registered apps (exhaustive/stratified/uniform site plans,
   per-shard checkpointing, step-budget watchdog; see
   ``docs/ROBUSTNESS.md``);
+* ``repro chaos``           — run a campaign (or batch) under seeded,
+  deterministic infrastructure fault injection and assert the
+  convergence oracle: chaotic statistics must be identical to the
+  fault-free run (``docs/ROBUSTNESS.md``);
 * ``repro lattices FILE``   — render the program's location lattices;
 * ``repro batch DIR...``    — check many files via the cached, parallel
   service (per-file verdicts + timings);
@@ -360,6 +364,117 @@ def _run_campaign(args: argparse.Namespace, apps: tuple) -> int:
     if not report["complete"] or report["shards"]["infra_failed"] > 0:
         return 1
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    import shutil
+
+    from repro.apps import all_app_names
+    from repro.chaos import (
+        ChaosConfig,
+        ChaosError,
+        parse_faults,
+        run_batch_oracle,
+        run_campaign_oracle,
+    )
+    from repro.runtime.campaign import CampaignConfig, CampaignError
+
+    work_dir = Path(args.work_dir)
+    state_dir = Path(args.state_dir) if args.state_dir else work_dir / "ledger"
+    try:
+        chaos_config = ChaosConfig(
+            seed=args.seed,
+            rate=args.rate,
+            faults=parse_faults(args.faults),
+            sites=tuple(
+                prefix.strip() for prefix in (args.sites or "").split(",")
+                if prefix.strip()
+            ),
+            state_dir=str(state_dir),
+            max_fires=args.max_fires,
+            hang_seconds=args.hang_seconds,
+            slow_io_seconds=args.slow_io_seconds,
+        )
+    except ChaosError as exc:
+        print(f"chaos error: {exc}", file=sys.stderr)
+        return 2
+    # The exactly-once ledger must start empty, or markers from a
+    # previous invocation would suppress this run's planned faults.
+    shutil.rmtree(state_dir, ignore_errors=True)
+    progress = (lambda message: print(message, file=sys.stderr))
+    with _observed(
+        args, "repro.chaos",
+        faults=",".join(chaos_config.faults), rate=args.rate,
+    ):
+        try:
+            if args.batch:
+                files = _collect_sj_files(args.batch)
+                if not files:
+                    print("chaos: no .sj files found", file=sys.stderr)
+                    return 2
+                result = run_batch_oracle(
+                    [str(f) for f in files],
+                    chaos_config,
+                    cache_dir=work_dir / "cache",
+                    progress=progress,
+                )
+            else:
+                apps = (
+                    tuple(all_app_names()) if args.apps == "all"
+                    else tuple(
+                        name.strip() for name in args.apps.split(",")
+                        if name.strip()
+                    )
+                )
+                config = CampaignConfig(
+                    apps=apps,
+                    mode=args.mode,
+                    trials=args.trials,
+                    strata=args.strata,
+                    iterations=args.iterations,
+                    burst=args.burst,
+                    seed=args.seed,
+                    shard_size=args.shard_size,
+                    step_budget_factor=args.step_budget_factor,
+                )
+                result = run_campaign_oracle(
+                    config,
+                    chaos_config,
+                    work_dir=work_dir,
+                    max_workers=args.jobs,
+                    shard_timeout=args.shard_timeout,
+                    max_retries=args.max_retries,
+                    progress=progress,
+                )
+        except CampaignError as exc:
+            print(f"campaign error: {exc}", file=sys.stderr)
+            return 2
+    payload = protocol.chaos_payload(result)
+    if args.report:
+        Path(args.report).write_text(
+            protocol.dumps(payload) + "\n", encoding="utf-8"
+        )
+        print(f"// chaos report written to {args.report}", file=sys.stderr)
+    if args.json:
+        print(protocol.dumps(payload))
+    else:
+        oracle = result["oracle"]
+        faults = result["faults"]
+        by_fault = ", ".join(
+            f"{fault} {count}"
+            for fault, count in faults["by_fault"].items()
+        ) or "none"
+        print(
+            f"chaos oracle: {'HOLDS' if oracle['holds'] else 'VIOLATED'} "
+            f"(identical={str(oracle['identical']).lower()}, "
+            f"clean_complete={str(oracle['clean_complete']).lower()}, "
+            f"chaos_complete={str(oracle['chaos_complete']).lower()}, "
+            f"infra_failed={oracle['infra_failed']})"
+        )
+        print(f"// {faults['injected']} faults injected: {by_fault}")
+    # A violated oracle means the harness lost, duplicated, or corrupted
+    # work under infrastructure faults — a failing run.
+    return 0 if result["oracle"]["holds"] else 1
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
@@ -868,6 +983,70 @@ def build_parser() -> argparse.ArgumentParser:
     _add_campaign_arguments(campaign)
     _add_obs_arguments(campaign)
     campaign.set_defaults(func=cmd_campaign)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a campaign/batch under deterministic infrastructure "
+             "fault injection and assert the convergence oracle",
+    )
+    chaos.add_argument("--faults", default="all",
+                       help="comma-separated fault classes, or 'all' "
+                            "(worker-crash, worker-hang, torn-manifest, "
+                            "cache-corrupt, socket-drop, duplicate-shard, "
+                            "slow-io)")
+    chaos.add_argument("--rate", type=float, default=1.0,
+                       help="injection probability per fault opportunity "
+                            "(default: 1.0)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="one seed pins both the campaign plan and the "
+                            "fault plan")
+    chaos.add_argument("--sites", default=None, metavar="PREFIX,...",
+                       help="restrict injection to sites with these "
+                            "prefixes (default: everywhere)")
+    chaos.add_argument("--max-fires", type=int, default=None,
+                       help="total fault budget (default: unbounded)")
+    chaos.add_argument("--hang-seconds", type=float, default=8.0,
+                       help="how long a hung worker sleeps; set above "
+                            "--shard-timeout so hangs are observed")
+    chaos.add_argument("--slow-io-seconds", type=float, default=0.01,
+                       help="latency per injected slow-io fault")
+    chaos.add_argument("--work-dir", default=".repro-chaos",
+                       help="scratch directory for manifests, the disk "
+                            "cache, and the fault ledger")
+    chaos.add_argument("--state-dir", default=None,
+                       help="exactly-once fault ledger directory "
+                            "(default: WORK_DIR/ledger; wiped at start)")
+    chaos.add_argument("--batch", nargs="+", default=None,
+                       metavar="DIR_OR_FILE",
+                       help="exercise the batch/cache path over these .sj "
+                            "files instead of running a campaign")
+    chaos.add_argument("--apps", default="all",
+                       help="comma-separated app names, single-node or "
+                            "distributed (default: all)")
+    chaos.add_argument("--mode",
+                       choices=("exhaustive", "stratified", "uniform"),
+                       default="stratified")
+    chaos.add_argument("--trials", type=int, default=16,
+                       help="per-app trials (default: 16 — chaos runs "
+                            "everything twice)")
+    chaos.add_argument("--strata", type=int, default=8)
+    chaos.add_argument("--iterations", type=int, default=None)
+    chaos.add_argument("--burst", type=int, default=1)
+    chaos.add_argument("--shard-size", type=int, default=8)
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes; worker-crash/hang need "
+                            "--jobs > 1 to fire")
+    chaos.add_argument("--shard-timeout", type=float, default=None,
+                       help="wall-clock seconds per shard (needs --jobs > 1)")
+    chaos.add_argument("--max-retries", type=int, default=6,
+                       help="shard retry budget under chaos (default: 6)")
+    chaos.add_argument("--step-budget-factor", type=int, default=64)
+    chaos.add_argument("--report", default=None,
+                       help="also write the JSON chaos report to this file")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the versioned JSON chaos report on stdout")
+    _add_obs_arguments(chaos)
+    chaos.set_defaults(func=cmd_chaos)
 
     apps_cmd = sub.add_parser(
         "apps", help="list registered apps (single-node and distributed)"

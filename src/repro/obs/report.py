@@ -450,6 +450,63 @@ def _events_section(events: list[dict]) -> str:
     )
 
 
+def _chaos_section(events: list[dict]) -> str:
+    """The chaos panel: injected-fault and recovery-action summaries,
+    from ``chaos.*`` events in the supplied stream.  Empty when no chaos
+    events exist, so fault-free reports are byte-identical to builds
+    that predate the panel."""
+    chaos = [e for e in events if e["name"].startswith("chaos.")]
+    if not chaos:
+        return ""
+    injected: dict[str, int] = {}
+    recoveries: dict[tuple[str, str], int] = {}
+    oracle_rows: list[tuple] = []
+    for record in chaos:
+        name = record["name"]
+        attrs = record.get("attrs", {})
+        if name == "chaos.recovery":
+            key = (str(attrs.get("action", "?")), str(attrs.get("site", "?")))
+            recoveries[key] = recoveries.get(key, 0) + 1
+        elif name == "chaos.oracle":
+            oracle_rows.append((
+                attrs.get("holds"),
+                attrs.get("identical"),
+                attrs.get("clean_complete"),
+                attrs.get("chaos_complete"),
+                attrs.get("infra_failed"),
+            ))
+        elif "fault" in attrs:
+            fault = str(attrs["fault"])
+            injected[fault] = injected.get(fault, 0) + 1
+    sections = ["<h2>Chaos</h2>"]
+    if oracle_rows:
+        sections.append(
+            '<p class="note">Convergence oracle: a seeded chaos run must '
+            "end with statistics identical to the fault-free run.</p>"
+        )
+        sections.append(_table(
+            ("holds", "identical stats", "clean complete", "chaos complete",
+             "infra-failed shards"),
+            oracle_rows,
+            name_columns=0,
+        ))
+    if injected:
+        sections.append("<h3>Injected faults</h3>")
+        sections.append(_table(
+            ("fault", "count"),
+            [(fault, injected[fault]) for fault in sorted(injected)],
+        ))
+    if recoveries:
+        sections.append("<h3>Recovery actions</h3>")
+        sections.append(_table(
+            ("action", "site", "count"),
+            [(action, site, recoveries[(action, site)])
+             for action, site in sorted(recoveries)],
+            name_columns=2,
+        ))
+    return "".join(sections)
+
+
 def _bench_section(benches: list[tuple[str, dict]]) -> str:
     if not benches:
         return ""
@@ -518,6 +575,7 @@ def render_report(
             )
         sections.append(_timeline_section(campaign))
     if events:
+        sections.append(_chaos_section(events))
         sections.append(_events_section(events))
     if benches:
         sections.append(_bench_section(list(benches)))

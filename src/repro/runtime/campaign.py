@@ -40,6 +40,13 @@ from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from repro.apps import all_app_names, resolve_experiment
+from repro.chaos.injector import (
+    ChaosConfig,
+    ChaosInjector,
+    NullChaosInjector,
+    chaos_recovery,
+    get_chaos,
+)
 from repro.obs import get_tracer, global_registry
 from repro.obs.events import get_event_log
 from repro.runtime.stabilization import InjectionTrial
@@ -284,23 +291,43 @@ def run_shard(payload: dict) -> dict:
     """Run one shard of injection trials.  Ships to pool workers, so it
     takes and returns plain dicts only.  ``run_seconds`` is measured on
     the worker side, so the driver can split a shard's settle latency
-    into execution time and queue wait."""
+    into execution time and queue wait.
+
+    When the payload carries a ``chaos`` config (``repro chaos``), the
+    worker rebuilds the injector on its side of the pickle boundary and
+    passes through its fault probes: a hang before the trials start, a
+    SIGKILL mid-shard.  The injector's cross-process ledger guarantees
+    each planned fault fires on the first delivery only, so the retry
+    of a killed shard completes — and, trials being pure functions of
+    ``(app, site, seed, …)``, completes with identical records.
+    """
     start = time.perf_counter()
+    chaos_cfg = payload.get("chaos")
+    chaos: ChaosInjector | NullChaosInjector = (
+        ChaosInjector(ChaosConfig.from_dict(chaos_cfg))
+        if chaos_cfg else NullChaosInjector()
+    )
+    shard_id = payload["shard_id"]
+    chaos.hang_point("worker.shard", shard_id)
     experiment = resolve_experiment(
         payload["app"],
         payload.get("iterations"),
         step_budget=payload.get("step_budget"),
         step_budget_factor=payload.get("step_budget_factor"),
     )
-    trials = [
-        trial_record(
+    crash_after = len(payload["sites"]) // 2
+    trials = []
+    for done, (site, seed) in enumerate(zip(payload["sites"], payload["seeds"])):
+        trials.append(trial_record(
             payload["app"],
             experiment.trial_at(site, seed=seed, burst=payload.get("burst", 1)),
-        )
-        for site, seed in zip(payload["sites"], payload["seeds"])
-    ]
+        ))
+        if done == crash_after:
+            # Mid-shard, after real work: the kill a preempted/OOMed
+            # worker takes, with trial results already computed and lost.
+            chaos.crash_point("worker.shard", shard_id)
     return {
-        "shard_id": payload["shard_id"],
+        "shard_id": shard_id,
         "trials": trials,
         "run_seconds": time.perf_counter() - start,
     }
@@ -433,8 +460,16 @@ class CampaignRunner:
     stop_after_shards: Optional[int] = None
     #: Executed-this-run counter, readable after :meth:`run`.
     executed_shards: int = field(default=0, init=False)
+    #: The installed chaos injector, resolved once per :meth:`run`.
+    _chaos: ChaosInjector | NullChaosInjector = field(
+        default_factory=NullChaosInjector, init=False
+    )
+    #: Whether the last checkpoint write was torn (by injection); the
+    #: next good save reports the self-heal.
+    _torn: bool = field(default=False, init=False)
 
     def run(self) -> dict:
+        self._chaos = get_chaos()
         manifest = self._load_manifest()
         site_totals = manifest.get("site_totals") if manifest else None
         if site_totals is None:
@@ -475,112 +510,52 @@ class CampaignRunner:
     # -- execution -------------------------------------------------------
 
     def _drive(self, pending: list[Shard]) -> None:
+        chaos = self._chaos
         pool = ResilientPool(
             max_workers=self.max_workers,
             task_timeout=self.shard_timeout,
             max_retries=self.max_retries,
             backoff_base=self.backoff_base,
             backoff_cap=self.backoff_cap,
+            # Seeded jitter: the same campaign backs off identically on
+            # every run, so chaos runs are reproducible end to end.
+            rng=random.Random(f"backoff:{self.config.seed}"),
         )
         tracer = get_tracer()
-        metrics = global_registry()
-        events = get_event_log()
-        payloads = [shard.payload(self.config) for shard in pending]
+        # Worker faults cross the pickle boundary as part of the shard
+        # payload; in-process mode keeps them off (a SIGKILL or a hang
+        # would take the driver down with the shard).
+        worker_chaos = (
+            chaos.worker_payload() if self.max_workers > 1 else None
+        )
+        payloads = []
+        for shard in pending:
+            payload = shard.payload(self.config)
+            if worker_chaos is not None:
+                payload["chaos"] = worker_chaos
+            payloads.append(payload)
         with tracer.span("campaign_drive", shards=len(pending)) as drive:
             drive_start = time.perf_counter()
             for index, result in pool.run(run_shard, payloads):
                 shard = pending[index]
                 settled = time.perf_counter() - drive_start
                 attempts = pool.attempts_of(index)
-                if isinstance(result, TaskFailure):
-                    record = {
-                        "status": "infra-failed",
-                        "reason": result.reason,
-                        "message": result.message,
-                        "attempts": result.attempts,
-                    }
-                    metrics.counter(
-                        "repro_campaign_shards_infra_failed",
-                        "shards given up on after retries",
-                    ).inc()
-                    self._note(
-                        f"shard {shard.shard_id}: infra-failed "
-                        f"({result.reason} after {result.attempts} attempts)"
-                    )
-                    events.emit(
-                        "campaign.shard",
-                        "given up on after retries",
-                        level="error",
+                if chaos.enabled and attempts > 1 and not isinstance(
+                    result, TaskFailure
+                ):
+                    # A shard that needed retries under chaos recovered
+                    # from a crash/hang; record the recovery action.
+                    chaos_recovery(
+                        "shard-retried",
+                        "campaign.result",
                         shard_id=shard.shard_id,
-                        app=shard.app,
-                        status="infra-failed",
-                        reason=result.reason,
-                        attempts=result.attempts,
+                        attempts=attempts,
                     )
-                else:
-                    run_seconds = float(result.get("run_seconds", 0.0))
-                    obs = {
-                        "run_seconds": round(run_seconds, 6),
-                        "queue_wait_seconds": round(
-                            max(0.0, settled - run_seconds), 6
-                        ),
-                        "attempts": attempts,
-                        "retries": attempts - 1,
-                        "timeouts": sum(
-                            1 for t in result["trials"]
-                            if t["verdict"] == TIMEOUT
-                        ),
-                    }
-                    record = {
-                        "status": "done",
-                        "trials": result["trials"],
-                        "obs": obs,
-                    }
-                    with tracer.span(
-                        "shard", shard_id=shard.shard_id, app=shard.app
-                    ) as span:
-                        span.count("trials", len(result["trials"]))
-                        span.count("run_seconds", obs["run_seconds"])
-                        span.count(
-                            "queue_wait_seconds", obs["queue_wait_seconds"]
-                        )
-                        span.count("retries", obs["retries"])
-                        span.count("timeouts", obs["timeouts"])
-                    metrics.counter(
-                        "repro_campaign_shards_done", "shards completed"
-                    ).inc()
-                    metrics.counter(
-                        "repro_campaign_shard_retries",
-                        "extra attempts shards needed",
-                    ).inc(obs["retries"])
-                    metrics.counter(
-                        "repro_campaign_trials_total", "trials executed"
-                    ).inc(len(result["trials"]))
-                    metrics.counter(
-                        "repro_campaign_trial_timeouts",
-                        "trials stopped by the step-budget watchdog",
-                    ).inc(obs["timeouts"])
-                    self._note(
-                        f"shard {shard.shard_id}: "
-                        f"{len(result['trials'])} trials"
-                    )
-                    # Workers are separate processes, so the trial.*
-                    # events from stabilization.py never reach the
-                    # driver's log; the shard summary is the driver-side
-                    # record of what crossed the pool boundary.
-                    events.emit(
-                        "campaign.shard",
-                        level="info",
-                        shard_id=shard.shard_id,
-                        app=shard.app,
-                        status="done",
-                        trials=len(result["trials"]),
-                        run_seconds=obs["run_seconds"],
-                        retries=obs["retries"],
-                        timeouts=obs["timeouts"],
-                    )
-                self._manifest["shards"][shard.shard_id] = record
-                self._save_manifest()
+                deliveries = 1 + int(
+                    chaos.duplicate_point("campaign.result", shard.shard_id)
+                )
+                for _ in range(deliveries):
+                    self._settle(shard, result, settled, attempts, tracer)
                 self.executed_shards += 1
                 if (
                     self.stop_after_shards is not None
@@ -589,6 +564,117 @@ class CampaignRunner:
                     self._note("campaign: stop_after_shards reached, pausing")
                     break
             drive.count("executed_shards", self.executed_shards)
+
+    def _settle(
+        self, shard: Shard, result, settled: float, attempts: int, tracer
+    ) -> None:
+        """Absorb one delivery of a settled shard: metrics, events, the
+        manifest record, the checkpoint.  Idempotent — a delivery for a
+        shard the manifest already holds (a chaos-injected duplicate, or
+        a replay after partial resume) is ignored without double-counting
+        anything."""
+        metrics = global_registry()
+        events = get_event_log()
+        if shard.shard_id in self._manifest["shards"]:
+            chaos_recovery(
+                "duplicate-ignored",
+                "campaign.result",
+                shard_id=shard.shard_id,
+            )
+            metrics.counter(
+                "repro_campaign_duplicates_ignored",
+                "duplicate shard deliveries discarded",
+            ).inc()
+            return
+        if isinstance(result, TaskFailure):
+            record = {
+                "status": "infra-failed",
+                "reason": result.reason,
+                "message": result.message,
+                "attempts": result.attempts,
+            }
+            metrics.counter(
+                "repro_campaign_shards_infra_failed",
+                "shards given up on after retries",
+            ).inc()
+            self._note(
+                f"shard {shard.shard_id}: infra-failed "
+                f"({result.reason} after {result.attempts} attempts)"
+            )
+            events.emit(
+                "campaign.shard",
+                "given up on after retries",
+                level="error",
+                shard_id=shard.shard_id,
+                app=shard.app,
+                status="infra-failed",
+                reason=result.reason,
+                attempts=result.attempts,
+            )
+        else:
+            run_seconds = float(result.get("run_seconds", 0.0))
+            obs = {
+                "run_seconds": round(run_seconds, 6),
+                "queue_wait_seconds": round(
+                    max(0.0, settled - run_seconds), 6
+                ),
+                "attempts": attempts,
+                "retries": attempts - 1,
+                "timeouts": sum(
+                    1 for t in result["trials"]
+                    if t["verdict"] == TIMEOUT
+                ),
+            }
+            record = {
+                "status": "done",
+                "trials": result["trials"],
+                "obs": obs,
+            }
+            with tracer.span(
+                "shard", shard_id=shard.shard_id, app=shard.app
+            ) as span:
+                span.count("trials", len(result["trials"]))
+                span.count("run_seconds", obs["run_seconds"])
+                span.count(
+                    "queue_wait_seconds", obs["queue_wait_seconds"]
+                )
+                span.count("retries", obs["retries"])
+                span.count("timeouts", obs["timeouts"])
+            metrics.counter(
+                "repro_campaign_shards_done", "shards completed"
+            ).inc()
+            metrics.counter(
+                "repro_campaign_shard_retries",
+                "extra attempts shards needed",
+            ).inc(obs["retries"])
+            metrics.counter(
+                "repro_campaign_trials_total", "trials executed"
+            ).inc(len(result["trials"]))
+            metrics.counter(
+                "repro_campaign_trial_timeouts",
+                "trials stopped by the step-budget watchdog",
+            ).inc(obs["timeouts"])
+            self._note(
+                f"shard {shard.shard_id}: "
+                f"{len(result['trials'])} trials"
+            )
+            # Workers are separate processes, so the trial.*
+            # events from stabilization.py never reach the
+            # driver's log; the shard summary is the driver-side
+            # record of what crossed the pool boundary.
+            events.emit(
+                "campaign.shard",
+                level="info",
+                shard_id=shard.shard_id,
+                app=shard.app,
+                status="done",
+                trials=len(result["trials"]),
+                run_seconds=obs["run_seconds"],
+                retries=obs["retries"],
+                timeouts=obs["timeouts"],
+            )
+        self._manifest["shards"][shard.shard_id] = record
+        self._save_manifest()
 
     # -- checkpointing ---------------------------------------------------
 
@@ -601,10 +687,28 @@ class CampaignRunner:
         try:
             manifest = json.loads(path.read_text(encoding="utf-8"))
         except (OSError, ValueError) as exc:
-            raise CampaignError(
-                f"checkpoint {path} is unreadable ({exc}); "
-                f"rerun with fresh=True / --fresh to discard it"
-            ) from exc
+            # A torn or truncated checkpoint (driver killed mid-write on
+            # a filesystem without atomic rename, disk full, …) is an
+            # arbitrary initial state, not a fatal one: quarantine it for
+            # the post-mortem and resume from scratch — the same move
+            # the disk cache makes for corrupt entries.
+            quarantine = path.with_suffix(path.suffix + ".quarantined")
+            try:
+                os.replace(path, quarantine)
+            except OSError:
+                return None
+            chaos_recovery(
+                "manifest-quarantined",
+                "manifest.checkpoint",
+                path=str(path),
+                quarantine=str(quarantine),
+                error=str(exc),
+            )
+            self._note(
+                f"checkpoint {path} is torn ({exc}); quarantined to "
+                f"{quarantine.name} and restarting the sweep"
+            )
+            return None
         if manifest.get("fingerprint") != self.config.fingerprint():
             raise CampaignError(
                 f"checkpoint {path} belongs to a different campaign "
@@ -617,9 +721,41 @@ class CampaignRunner:
             return
         path = Path(self.checkpoint_path)
         path.parent.mkdir(parents=True, exist_ok=True)
+        blob = json.dumps(self._manifest)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(self._manifest), encoding="utf-8")
+        torn = self._chaos.torn_write(
+            "manifest.checkpoint",
+            f"{path.name}:{len(self._manifest['shards'])}",
+        )
+        if torn == "truncate":
+            # Injected crash mid-write of the final file: half the
+            # payload lands at the target (no tmp+rename discipline).
+            path.write_text(blob[: len(blob) // 2], encoding="utf-8")
+            self._torn = True
+            return
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(blob)
+            handle.flush()
+            # The rename below is atomic, but atomicity without
+            # durability can still resurface a pre-crash (torn) file
+            # after power loss; fsync before replace closes that window.
+            os.fsync(handle.fileno())
+        if torn == "no-rename":
+            # Injected crash between write and rename: tmp is complete,
+            # the target keeps its stale previous content.
+            self._torn = True
+            return
         os.replace(tmp, path)  # atomic: a killed driver never corrupts it
+        if self._torn:
+            # Each checkpoint rewrites the whole manifest, so the first
+            # good save after a torn one heals the file on disk.
+            chaos_recovery(
+                "manifest-rewritten",
+                "manifest.checkpoint",
+                path=str(path),
+                shards=len(self._manifest["shards"]),
+            )
+            self._torn = False
 
     def _note(self, message: str) -> None:
         if self.progress is not None:

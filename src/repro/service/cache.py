@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Optional
 
 import repro
+from repro.chaos.injector import chaos_recovery, get_chaos
 from repro.core.checker import CheckReport
 from repro.service.protocol import PROTOCOL_VERSION
 
@@ -140,6 +141,7 @@ class ResultCache:
         if self.disk_dir is None:
             return None
         path = self._entry_path(key)
+        get_chaos().slow_point("cache.read", key)
         try:
             raw = path.read_text(encoding="utf-8")
         except OSError:
@@ -171,6 +173,9 @@ class ResultCache:
                 path.unlink(missing_ok=True)
             except OSError:
                 pass
+            chaos_recovery(
+                "cache-entry-quarantined", "cache.entry", key=key
+            )
             return None
 
     def _disk_put(self, key: str, report: CheckReport) -> None:
@@ -183,9 +188,16 @@ class ResultCache:
         }
         path = self._entry_path(key)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        chaos = get_chaos()
+        chaos.slow_point("cache.write", key)
+        blob = json.dumps(entry).encode("utf-8")
+        # A planned cache-corrupt fault truncates the entry *after* the
+        # atomic rename — the bit-rot / torn-page case the quarantine
+        # path in _disk_get exists for.
+        corrupted = chaos.corrupt_bytes("cache.entry", key, blob)
         try:
             self.disk_dir.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(entry), encoding="utf-8")
+            tmp.write_bytes(blob if corrupted is None else corrupted)
             os.replace(tmp, path)  # atomic: readers never see partial JSON
         except OSError:
             try:

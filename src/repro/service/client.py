@@ -14,6 +14,16 @@ retries with capped exponential backoff cover the daemon-still-starting
 window, and a socket file whose daemon is gone (killed without cleanup)
 is diagnosed as *stale* rather than surfacing a bare
 ``ConnectionRefusedError`` — :func:`remove_stale_socket` cleans one up.
+
+Every operation can carry a **total deadline budget** (``op_deadline``
+seconds): connect retries, backoff sleeps and the response wait all draw
+from the same budget, and exhausting it raises :class:`DeadlineExceeded`
+— a distinct, machine-readable error whose ``envelope`` is a protocol
+``error`` payload with ``error: "deadline-exceeded"``.  With
+``connect_retries=None`` the retry loop is bounded by the deadline alone
+instead of an attempt count.  A connection that dies mid-request (reset,
+daemon restart, injected ``socket-drop``) is retried exactly once on a
+fresh connection before the error surfaces.
 """
 
 from __future__ import annotations
@@ -21,8 +31,9 @@ from __future__ import annotations
 import socket
 import time
 from pathlib import Path
-from typing import Optional
+from typing import Callable, Optional
 
+from repro.chaos.injector import chaos_recovery, get_chaos
 from repro.service import protocol
 
 
@@ -32,6 +43,27 @@ class ServiceError(RuntimeError):
 
 class StaleSocketError(ServiceError):
     """The socket file exists but no daemon is listening behind it."""
+
+
+class DeadlineExceeded(ServiceError):
+    """The operation's total deadline budget ran out.
+
+    ``envelope`` is the protocol-shaped error payload
+    (``error: "deadline-exceeded"``), so callers that forward daemon
+    responses can forward this failure in the same format.
+    """
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.envelope = protocol.error_payload(
+            message, error="deadline-exceeded"
+        )
+
+
+class ConnectionDropped(ServiceError):
+    """The connection died mid-request (reset, or the daemon closed
+    it before responding).  :meth:`ReproClient.request` retries once on
+    a fresh connection before letting this surface."""
 
 
 def socket_is_live(socket_path: str | Path) -> bool:
@@ -66,37 +98,93 @@ class ReproClient:
         socket_path: str | Path,
         timeout: float = 30.0,
         *,
-        connect_retries: int = 0,
+        connect_retries: Optional[int] = 0,
         connect_backoff: float = 0.05,
         backoff_cap: float = 1.0,
+        op_deadline: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
+        if connect_retries is None and op_deadline is None:
+            raise ValueError(
+                "connect_retries=None (deadline-bounded retries) needs "
+                "op_deadline set — otherwise the retry loop is unbounded"
+            )
         self.socket_path = str(socket_path)
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.connect_backoff = connect_backoff
         self.backoff_cap = backoff_cap
+        self.op_deadline = op_deadline
+        #: Injectable time sources (None: the real clock), so deadline
+        #: and backoff behavior is testable without waiting.
+        self.clock = clock
+        self.sleep = sleep
         self._sock: Optional[socket.socket] = None
         self._reader = None
+        self._request_seq = 0
+
+    # -- the deadline budget ---------------------------------------------
+
+    def _now(self) -> float:
+        return (self.clock or time.monotonic)()
+
+    def _sleep(self, seconds: float) -> None:
+        (self.sleep or time.sleep)(seconds)
+
+    def _start_deadline(self) -> Optional[float]:
+        """The absolute deadline of an operation starting now."""
+        if self.op_deadline is None:
+            return None
+        return self._now() + self.op_deadline
+
+    def _remaining(self, deadline: Optional[float], what: str) -> Optional[float]:
+        """Budget left before ``deadline``; raises once it is spent."""
+        if deadline is None:
+            return None
+        remaining = deadline - self._now()
+        if remaining <= 0:
+            raise DeadlineExceeded(
+                f"deadline of {self.op_deadline:.3f}s exceeded while {what} "
+                f"(daemon at {self.socket_path})"
+            )
+        return remaining
 
     # -- connection ------------------------------------------------------
 
-    def connect(self) -> "ReproClient":
+    def connect(self, *, deadline: Optional[float] = None) -> "ReproClient":
         if self._sock is not None:
             return self
+        if deadline is None:
+            deadline = self._start_deadline()
         delay = self.connect_backoff
         last_error: Optional[OSError] = None
-        for attempt in range(self.connect_retries + 1):
+        attempt = 0
+        while True:
+            remaining = self._remaining(deadline, "connecting")
             sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
+            sock.settimeout(
+                self.timeout if remaining is None
+                else min(self.timeout, remaining)
+            )
             try:
                 sock.connect(self.socket_path)
             except OSError as exc:
                 sock.close()
                 last_error = exc
-                if attempt < self.connect_retries:
-                    time.sleep(delay)
+                attempt += 1
+                # None: retry until the deadline budget runs out.
+                if self.connect_retries is None or (
+                    attempt <= self.connect_retries
+                ):
+                    pause = delay
+                    if deadline is not None:
+                        budget = self._remaining(deadline, "connecting")
+                        pause = min(pause, budget)
+                    self._sleep(pause)
                     delay = min(delay * 2, self.backoff_cap)
-                continue
+                    continue
+                break
             self._sock = sock
             self._reader = sock.makefile("rb")
             return self
@@ -112,7 +200,7 @@ class ReproClient:
             ) from last_error
         raise ServiceError(
             f"cannot connect to daemon at {self.socket_path} "
-            f"after {self.connect_retries + 1} attempt(s): {last_error}"
+            f"after {attempt} attempt(s): {last_error}"
         ) from last_error
 
     def close(self) -> None:
@@ -132,13 +220,64 @@ class ReproClient:
     # -- requests --------------------------------------------------------
 
     def request(self, payload: dict) -> dict:
-        """Send one request, wait for its one-line response."""
-        self.connect()
+        """Send one request, wait for its one-line response.
+
+        The whole operation — connecting (with retries), sending,
+        waiting — draws from one ``op_deadline`` budget.  A connection
+        that dies mid-request is retried exactly once on a fresh
+        connection (recorded as a ``chaos.recovery`` event); requests
+        are single-line and responses idempotent to re-ask for, so one
+        replay is safe and covers both daemon restarts and injected
+        ``socket-drop`` faults.
+        """
+        deadline = self._start_deadline()
+        self._request_seq += 1
+        key = f"{payload.get('op', 'request')}:{self._request_seq}"
+        try:
+            return self._request_once(payload, deadline, key)
+        except DeadlineExceeded:
+            raise
+        except (ConnectionDropped, ConnectionError) as exc:
+            self.close()
+            self._remaining(deadline, "reconnecting after a dropped request")
+            chaos_recovery(
+                "client-reconnected",
+                "client.request",
+                key=key,
+                error=str(exc),
+            )
+            return self._request_once(payload, deadline, key)
+
+    def _request_once(
+        self, payload: dict, deadline: Optional[float], key: str
+    ) -> dict:
+        self.connect(deadline=deadline)
         assert self._sock is not None and self._reader is not None
+        remaining = self._remaining(deadline, "sending the request")
+        self._sock.settimeout(
+            self.timeout if remaining is None
+            else min(self.timeout, remaining)
+        )
         self._sock.sendall((protocol.dumps(payload) + "\n").encode("utf-8"))
-        line = self._reader.readline()
+        if get_chaos().drop_point("client.request", key):
+            # Injected connection reset mid-request: the request went
+            # out but the connection dies before the response is read —
+            # what a client sees when its peer resets under it.
+            self.close()
+            raise ConnectionDropped("injected connection drop mid-request")
+        try:
+            line = self._reader.readline()
+        except socket.timeout as exc:
+            if deadline is not None and deadline - self._now() <= 0:
+                raise DeadlineExceeded(
+                    f"deadline of {self.op_deadline:.3f}s exceeded while "
+                    f"waiting for a response (daemon at {self.socket_path})"
+                ) from exc
+            raise ServiceError(
+                f"timed out waiting for a response from {self.socket_path}"
+            ) from exc
         if not line:
-            raise ServiceError("daemon closed the connection")
+            raise ConnectionDropped("daemon closed the connection")
         response = protocol.loads(line.decode("utf-8"))
         protocol.validate_version(response)
         return response

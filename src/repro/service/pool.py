@@ -19,6 +19,7 @@ unpicklable crosses the process boundary.
 from __future__ import annotations
 
 import concurrent.futures
+import random
 import time
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
@@ -115,10 +116,17 @@ class ResilientPool:
     Runs a picklable module-level function over a sequence of payloads
     with a per-task wall-clock timeout.  A worker crash
     (:class:`BrokenProcessPool` — e.g. a SIGKILLed worker) rebuilds the
-    pool and retries the in-flight task with capped exponential backoff;
-    tasks that keep failing are reported as :class:`TaskFailure`, never
-    silently dropped.  Fault-injection campaigns fan their shards out
-    through this.
+    pool and retries the in-flight task with capped, decorrelated-jitter
+    exponential backoff; tasks that keep failing are reported as
+    :class:`TaskFailure`, never silently dropped.  Fault-injection
+    campaigns fan their shards out through this.
+
+    Every source of nondeterminism is injectable: ``sleep`` (tests
+    record the schedule instead of waiting), ``rng`` (a seeded
+    ``random.Random`` makes the jitter schedule byte-reproducible) and
+    ``clock`` (retry-round timestamps).  A campaign seeds ``rng`` from
+    its own seed, so two runs of the same campaign back off
+    identically.
 
     ``max_workers <= 1`` degrades to plain in-process execution (no
     subprocesses, no timeout enforcement), the mode used by tests.
@@ -131,6 +139,12 @@ class ResilientPool:
     backoff_cap: float = 4.0
     #: Injection point for tests; production code sleeps for real.
     sleep: Callable[[float], None] = time.sleep
+    #: Jitter source; seed it (``random.Random(seed)``) to pin the
+    #: backoff schedule exactly.
+    rng: random.Random = field(default_factory=random.Random)
+    #: Monotonic clock for retry-round timing (injectable for tests).
+    clock: Callable[[], float] = time.monotonic
+    _delay: float = field(default=0.0, init=False)
     #: Failure counts per payload index for the *current* :meth:`run`;
     #: read through :meth:`attempts_of` as results stream out.
     _attempts: dict = field(default_factory=dict)
@@ -150,6 +164,7 @@ class ResilientPool:
         checkpoint incrementally; every payload yields exactly once.
         """
         self._attempts = {}
+        self._delay = 0.0
         if self.max_workers <= 1:
             yield from self._run_inline(fn, payloads)
             return
@@ -159,7 +174,7 @@ class ResilientPool:
         round_number = 0
         while pending:
             if round_number:
-                self.sleep(self._backoff(round_number))
+                self.sleep(self._next_backoff())
             round_number += 1
             batch, pending = pending, []
             executor = concurrent.futures.ProcessPoolExecutor(
@@ -232,8 +247,18 @@ class ResilientPool:
             reason=reason, message=message, attempts=attempts[index]
         )
 
-    def _backoff(self, round_number: int) -> float:
-        return min(self.backoff_cap, self.backoff_base * 2 ** (round_number - 1))
+    def _next_backoff(self) -> float:
+        """Capped exponential backoff with decorrelated jitter: each
+        delay is drawn uniformly from ``[base, 3 × previous]`` and
+        capped, so retry rounds desynchronize (a fleet of crashed
+        shards does not stampede the rebuilt pool in lockstep) while
+        the expectation still grows geometrically toward the cap."""
+        previous = self._delay if self._delay > 0.0 else self.backoff_base
+        self._delay = min(
+            self.backoff_cap,
+            self.rng.uniform(self.backoff_base, previous * 3.0),
+        )
+        return self._delay
 
 
 @dataclass

@@ -112,6 +112,13 @@ def campaign_payload(summary: dict) -> dict:
     return {"version": PROTOCOL_VERSION, "kind": "campaign", **summary}
 
 
+def chaos_payload(summary: dict) -> dict:
+    """Wrap a chaos report (:func:`repro.chaos.run_campaign_oracle` /
+    ``run_batch_oracle`` output) in the versioned envelope.  Plain dict
+    in, so this module never imports the chaos layer."""
+    return {"version": PROTOCOL_VERSION, "kind": "chaos", **summary}
+
+
 def bench_payload(document: dict) -> dict:
     """Wrap a bench document (:func:`repro.obs.bench.bench_payload`,
     already schema-versioned on its own) in the versioned envelope, so

@@ -58,6 +58,7 @@ from repro.obs import (
     set_tracer,
     timed_span,
 )
+from repro.chaos.injector import get_chaos
 from repro.obs.events import EventError, get_event_log, set_event_log
 from repro.service import protocol
 from repro.service.cache import ResultCache
@@ -75,9 +76,27 @@ class _Handler(socketserver.StreamRequestHandler):
             line = raw.decode("utf-8", errors="replace").strip()
             if not line:
                 continue
-            response = server.dispatch(line)
-            self.wfile.write((protocol.dumps(response) + "\n").encode("utf-8"))
-            self.wfile.flush()
+            server._begin_request()
+            try:
+                response = server.dispatch(line)
+                if get_chaos().drop_point(
+                    "server.response", response.get("request_id", "?")
+                ):
+                    # Injected connection reset: the request executed but
+                    # its response never ships — the client sees EOF, as
+                    # with a daemon crash between dispatch and write.
+                    return
+                try:
+                    self.wfile.write(
+                        (protocol.dumps(response) + "\n").encode("utf-8")
+                    )
+                    self.wfile.flush()
+                except (BrokenPipeError, ConnectionResetError):
+                    # The client went away mid-response; a torn protocol
+                    # line must never take the handler (or daemon) down.
+                    return
+            finally:
+                server._end_request()
             if response.get("op") == "shutdown" and response.get("ok"):
                 return
 
@@ -119,6 +138,8 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         self._request_counter = 0
         self._op_counts: dict[str, int] = {op: 0 for op in OPS}
         self._shutdown_thread: Optional[threading.Thread] = None
+        self._inflight = 0
+        self._inflight_cv = threading.Condition()
         # The daemon owns process-wide tracing for its lifetime: library
         # spans (checker passes, inference phases) report through
         # get_tracer(), so the server's tracer is installed globally and
@@ -146,7 +167,45 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         thread.start()
         return thread
 
-    def close(self) -> None:
+    def _begin_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight += 1
+
+    def _end_request(self) -> None:
+        with self._inflight_cv:
+            self._inflight -= 1
+            self._inflight_cv.notify_all()
+
+    def inflight(self) -> int:
+        """Requests currently being handled (dispatch through response
+        write)."""
+        with self._inflight_cv:
+            return self._inflight
+
+    def drain(self, timeout: float = 5.0) -> bool:
+        """Wait until no request is mid-flight (dispatched but its
+        response not yet written), so a shutdown never tears a protocol
+        line.  True when drained, False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._inflight_cv:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._inflight_cv.wait(remaining)
+        return True
+
+    def close(self, *, drain_timeout: float = 5.0) -> None:
+        # Handler threads are daemons: without the drain, closing here
+        # could cut a response off mid-line.  Requests still in flight
+        # get drain_timeout to finish writing; stragglers are reported,
+        # not waited on forever.
+        if not self.drain(drain_timeout):
+            self.event_log.emit(
+                "daemon.drain_timeout",
+                level="warn",
+                inflight=self.inflight(),
+            )
         if get_tracer() is self.tracer:
             set_tracer(self._previous_tracer)
         if get_event_log() is self.event_log:

@@ -1,0 +1,12 @@
+"""Fixtures for the chaos-harness tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps import app_source
+
+
+@pytest.fixture(scope="session")
+def wind_source() -> str:
+    return app_source("wind_sensor")

@@ -1,0 +1,82 @@
+"""CLI surface of the chaos harness: ``repro chaos``."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+from repro.apps import programs_dir
+from repro.cli import main
+from repro.service import protocol
+
+
+def campaign_args(tmp_path, *extra: str) -> list[str]:
+    return [
+        "chaos",
+        "--apps", "wind_sensor", "--trials", "8", "--strata", "4",
+        "--iterations", "12", "--seed", "7", "--shard-size", "2",
+        "--faults", "duplicate-shard,torn-manifest,slow-io",
+        "--slow-io-seconds", "0",
+        "--work-dir", str(tmp_path / "work"),
+        *extra,
+    ]
+
+
+class TestChaosCampaignCli:
+    def test_holding_oracle_exits_zero_with_json_payload(
+        self, tmp_path, capsys
+    ):
+        assert main(campaign_args(tmp_path, "--json")) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "chaos"
+        assert payload["kind_detail"] == "campaign"
+        assert payload["oracle"]["holds"] is True
+        assert payload["faults"]["injected"] > 0
+        assert payload["chaos_config"]["rate"] == 1.0
+
+    def test_human_output_states_the_verdict(self, tmp_path, capsys):
+        assert main(campaign_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "chaos oracle: HOLDS" in out
+        assert "faults injected" in out
+
+    def test_report_file_written(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        assert main(
+            campaign_args(tmp_path, "--report", str(report_path))
+        ) == 0
+        capsys.readouterr()
+        payload = protocol.loads(report_path.read_text())
+        assert payload["kind"] == "chaos"
+        assert payload["oracle"]["holds"] is True
+
+    def test_unknown_fault_is_a_usage_error(self, tmp_path, capsys):
+        args = campaign_args(tmp_path)
+        args[args.index("duplicate-shard,torn-manifest,slow-io")] = "gremlins"
+        assert main(args) == 2
+        assert "unknown fault" in capsys.readouterr().err
+
+    def test_unknown_app_is_a_usage_error(self, tmp_path, capsys):
+        assert main(
+            campaign_args(tmp_path) + ["--apps", "toaster"]
+        ) == 2
+        assert "toaster" in capsys.readouterr().err
+
+
+class TestChaosBatchCli:
+    def test_batch_oracle_over_corrupted_cache_holds(self, tmp_path, capsys):
+        target = tmp_path / "programs"
+        target.mkdir()
+        shutil.copy(programs_dir() / "wind_sensor.sj", target)
+        assert main([
+            "chaos", "--batch", str(target),
+            "--faults", "cache-corrupt,slow-io",
+            "--slow-io-seconds", "0",
+            "--work-dir", str(tmp_path / "work"),
+            "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind_detail"] == "batch"
+        assert payload["oracle"]["holds"] is True
+        assert payload["faults"]["injected"] > 0
+        assert payload["clean"]["files"] == payload["chaos"]["files"]

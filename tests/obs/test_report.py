@@ -328,3 +328,53 @@ class TestSections:
         assert "Events" in document
         assert "Verdicts" not in document
         assert "campaign.shard" in document
+
+
+def _chaos_events() -> list[dict]:
+    from repro.obs import EventBuffer
+
+    counter = itertools.count()
+    buffer = EventBuffer(capacity=64)
+    log = EventLog(
+        level="debug", sinks=(buffer,), clock=lambda: next(counter) * 0.5
+    )
+    log.emit(
+        "chaos.duplicate_shard", level="warn",
+        fault="duplicate-shard", site="campaign.result", key="a:0000",
+    )
+    log.emit(
+        "chaos.torn_manifest", level="warn",
+        fault="torn-manifest", site="manifest.checkpoint", key="ck:1",
+    )
+    log.emit(
+        "chaos.recovery", level="info",
+        action="duplicate-ignored", site="campaign.result",
+    )
+    log.emit(
+        "chaos.oracle", level="info",
+        holds=True, identical=True, clean_complete=True,
+        chaos_complete=True, infra_failed=0,
+    )
+    return list(buffer.records)
+
+
+class TestChaosPanel:
+    def test_chaos_events_render_the_panel(self):
+        page = render_report(events=_chaos_events())
+        assert "<h2>Chaos</h2>" in page
+        assert "Convergence oracle" in page
+        assert "Injected faults" in page
+        assert "duplicate-shard" in page
+        assert "torn-manifest" in page
+        assert "Recovery actions" in page
+        assert "duplicate-ignored" in page
+
+    def test_chaos_free_events_render_no_panel(self, tmp_path):
+        """Fault-free reports must stay byte-identical to builds that
+        predate the chaos panel (the golden test pins this too)."""
+        events_path = tmp_path / "events.jsonl"
+        _reference_events(events_path)
+        document = write_report(
+            tmp_path / "out.html", events_path=events_path
+        )
+        assert "Chaos" not in document

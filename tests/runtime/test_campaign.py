@@ -207,13 +207,22 @@ class TestCampaignRun:
                                checkpoint_path=checkpoint, fresh=True)
         assert fresh.run()["complete"] is True
 
-    def test_corrupted_checkpoint_is_diagnosed(self, tmp_path):
+    def test_corrupted_checkpoint_is_quarantined_and_resumed(self, tmp_path):
+        """A torn/truncated manifest is an arbitrary initial state, not a
+        fatal one: it is moved aside for the post-mortem and the sweep
+        restarts from scratch, completing as if uninterrupted."""
         checkpoint = tmp_path / "ck.json"
         checkpoint.write_text('{"fingerprint": "x", "shards": ')  # truncated
         runner = CampaignRunner(config=small_config(),
                                 checkpoint_path=checkpoint)
-        with pytest.raises(CampaignError, match="unreadable"):
-            runner.run()
+        report = runner.run()
+        assert report["complete"]
+        quarantine = checkpoint.with_suffix(".json.quarantined")
+        assert quarantine.exists()
+        assert quarantine.read_text().startswith('{"fingerprint": "x"')
+        # The healed checkpoint on disk is valid, resumable JSON again.
+        manifest = json.loads(checkpoint.read_text())
+        assert manifest["fingerprint"] == small_config().fingerprint()
 
     def test_checkpoint_survives_any_single_kill_point(self, tmp_path):
         """The manifest on disk is valid, resumable JSON after every

@@ -4,6 +4,7 @@ enforce wall-clock timeouts, and never silently drop a task."""
 from __future__ import annotations
 
 import os
+import random
 import signal
 import time
 from pathlib import Path
@@ -137,8 +138,46 @@ def _sleepy_or_double(payload: dict) -> dict:
 
 
 class TestBackoff:
-    def test_backoff_is_exponential_and_capped(self):
-        pool = ResilientPool(backoff_base=0.25, backoff_cap=1.0)
-        assert [pool._backoff(r) for r in (1, 2, 3, 4, 5)] == [
-            0.25, 0.5, 1.0, 1.0, 1.0
-        ]
+    def test_backoff_has_decorrelated_jitter_within_bounds(self):
+        """Every delay lands in [base, cap]; the draw window grows from
+        the *previous* delay (decorrelated jitter), so consecutive
+        retries desynchronize instead of marching in lockstep."""
+        pool = ResilientPool(
+            backoff_base=0.25, backoff_cap=1.0, rng=random.Random(7)
+        )
+        delays = [pool._next_backoff() for _ in range(8)]
+        assert all(0.25 <= d <= 1.0 for d in delays)
+        # With rate-limited uniform draws the schedule is not constant.
+        assert len(set(delays)) > 1
+
+    def test_backoff_schedule_is_reproducible_under_a_seeded_rng(self):
+        def schedule(seed):
+            pool = ResilientPool(
+                backoff_base=0.25, backoff_cap=4.0, rng=random.Random(seed)
+            )
+            return [pool._next_backoff() for _ in range(6)]
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+
+    def test_backoff_first_delay_draws_from_base_window(self):
+        """The first retry draws from [base, 3*base] — never below the
+        base, never an instant stampede."""
+        for seed in range(20):
+            pool = ResilientPool(
+                backoff_base=0.5, backoff_cap=10.0, rng=random.Random(seed)
+            )
+            first = pool._next_backoff()
+            assert 0.5 <= first <= 1.5
+
+    def test_backoff_resets_between_runs(self):
+        """run() starts each payload batch from a fresh delay window, so
+        one bad round does not inflate the next run's first retry."""
+        pool = ResilientPool(
+            backoff_base=0.25, backoff_cap=1.0, rng=random.Random(1)
+        )
+        for _ in range(6):
+            pool._next_backoff()
+        assert pool._delay > 0.0
+        list(pool.run(_double, [{"value": 1}]))
+        assert pool._delay == 0.0
