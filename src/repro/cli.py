@@ -21,12 +21,14 @@ Subcommands mirror the workflow of the paper's tool:
 * ``repro batch DIR...``    — check many files via the cached, parallel
   service (per-file verdicts + timings);
 * ``repro serve``           — long-lived checking daemon on a Unix
-  socket, speaking newline-delimited JSON;
+  socket, speaking newline-delimited JSON (``--http-port`` adds the
+  HTTP observability plane: /metrics, /healthz, /events);
 * ``repro metrics``         — render an observability snapshot from a
-  JSONL trace file or a running daemon;
+  JSONL trace file or a running daemon (``--tree`` prints the span
+  forest, grouping multi-process traces per pid);
 * ``repro events``          — tail/filter a JSONL structured event
   stream written by ``--events`` (severity floor, name substring,
-  trace/span correlation);
+  trace/span correlation; ``--follow`` streams live appends);
 * ``repro report``          — render the deterministic single-file HTML
   dashboard (convergence curves, shard timeline, events, bench trend);
 * ``repro bench``           — run the declarative benchmark suite and
@@ -39,7 +41,10 @@ Subcommands mirror the workflow of the paper's tool:
 FILE`` (write the structured event stream), and ``--profile`` (print
 the span tree with per-phase percentages to stderr); the global
 ``--log-level {debug,info,warn,error}`` gates event emission and
-bridges events into stdlib ``logging``; see ``docs/OBSERVABILITY.md``.
+bridges events into stdlib ``logging``.  A ``campaign --trace`` is
+**distributed**: pool workers write per-pid trace files next to the
+driver's, and the driver merges them on exit into one causally-linked
+multi-process trace; see ``docs/OBSERVABILITY.md``.
 
 The batch/daemon/JSON workflow is documented in ``docs/SERVICE.md``.
 Installed as ``repro`` (console script) or usable as
@@ -79,11 +84,15 @@ from repro.obs import (
     Tracer,
     aggregate_trace,
     filter_events,
+    follow_events,
     format_aggregate_table,
     format_event,
+    format_forest,
     format_tree,
     get_tracer,
     installed_tracer,
+    maybe_exporter,
+    merge_traces,
     read_events,
     trace_root_seconds,
     validate_trace,
@@ -300,10 +309,46 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         stack.enter_context(
             _observed(args, "repro.campaign", mode=args.mode, jobs=args.jobs)
         )
-        return _run_campaign(args, apps)
+        status = _run_campaign(args, apps)
+    # After the stack closes: the driver's trace writer is flushed and
+    # closed, so the worker files can be folded in.
+    _merge_worker_traces(args)
+    return status
+
+
+def _worker_trace_dir(args: argparse.Namespace) -> Path | None:
+    """Where pool workers write their per-pid trace files: next to the
+    driver's ``--trace`` file, as ``<trace>.workers/``."""
+    trace = getattr(args, "trace", None)
+    return Path(f"{trace}.workers") if trace else None
+
+
+def _merge_worker_traces(args: argparse.Namespace) -> None:
+    """Fold ``<trace>.workers/worker-<pid>.trace.jsonl`` files into the
+    driver's trace file, in place, producing one causally-linked
+    multi-process trace.  Must run after the driver's trace writer has
+    closed (outside the ``_observed`` stack).  No worker files — tracing
+    off, or an in-process run that opened none — is a silent no-op."""
+    from repro.obs.propagate import WORKER_TRACE_GLOB
+
+    worker_dir = _worker_trace_dir(args)
+    if worker_dir is None or not worker_dir.is_dir():
+        return
+    workers = sorted(worker_dir.glob(WORKER_TRACE_GLOB))
+    if not workers:
+        return
+    merge_traces(
+        args.trace, worker_dir, output=args.trace, driver_pid=os.getpid()
+    )
+    print(
+        f"// merged {len(workers)} worker trace file(s) into {args.trace}",
+        file=sys.stderr,
+    )
 
 
 def _run_campaign(args: argparse.Namespace, apps: tuple) -> int:
+    from repro.obs import global_registry
+    from repro.obs.exporter import ExporterError
     from repro.runtime.campaign import (
         CampaignConfig,
         CampaignError,
@@ -327,12 +372,29 @@ def _run_campaign(args: argparse.Namespace, apps: tuple) -> int:
             config=config,
             checkpoint_path=Path(args.checkpoint) if args.checkpoint else None,
             max_workers=args.jobs,
+            trace_dir=_worker_trace_dir(args),
             shard_timeout=args.shard_timeout,
             fresh=args.fresh,
             progress=lambda message: print(message, file=sys.stderr),
         )
-        report = runner.run()
+        # Long sweeps are scrapable while they run: --http-port serves
+        # the process-wide registry (shard/trial counters) plus a
+        # liveness document.  NullExporter when the flag is absent.
+        with maybe_exporter(
+            getattr(args, "http_port", None), registry=global_registry()
+        ) as exporter:
+            if exporter.enabled:
+                print(
+                    f"// observability plane on "
+                    f"http://127.0.0.1:{exporter.port} "
+                    f"(/metrics /healthz)",
+                    file=sys.stderr,
+                )
+            report = runner.run()
     except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 2
+    except ExporterError as exc:
         print(f"campaign error: {exc}", file=sys.stderr)
         return 2
     payload = protocol.campaign_payload(report)
@@ -571,7 +633,9 @@ def cmd_dist_campaign(args: argparse.Namespace) -> int:
     with _observed(
         args, "repro.dist.campaign", mode=args.mode, jobs=args.jobs
     ):
-        return _run_campaign(args, apps)
+        status = _run_campaign(args, apps)
+    _merge_worker_traces(args)
+    return status
 
 
 def cmd_lattices(args: argparse.Namespace) -> int:
@@ -655,17 +719,39 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service.server import serve
+    from repro.obs.exporter import ExporterError
+    from repro.service.server import ReproServer
 
     cache = None
     if not args.no_cache:
         disk = Path(args.cache_dir) if args.cache_dir else default_disk_dir()
         cache = ResultCache(disk_dir=disk)
-    print(f"repro daemon listening on {args.socket}", file=sys.stderr)
     try:
-        serve(args.socket, cache=cache)
+        server = ReproServer(
+            args.socket,
+            cache=cache,
+            http_port=args.http_port,
+            http_host=args.http_host,
+        )
+    except ExporterError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"repro daemon listening on {args.socket}", file=sys.stderr)
+    if server.exporter.enabled:
+        # exporter.port is the *bound* port — --http-port 0 resolves to
+        # the ephemeral port the kernel actually picked.
+        print(
+            f"// observability plane on "
+            f"http://{args.http_host}:{server.exporter.port} "
+            f"(/metrics /healthz /events)",
+            file=sys.stderr,
+        )
+    try:
+        server.serve_forever()
     except KeyboardInterrupt:
         pass
+    finally:
+        server.close()
     return 0
 
 
@@ -690,6 +776,10 @@ def cmd_metrics(args: argparse.Namespace) -> int:
         except TraceError as exc:
             print(f"error: invalid trace: {exc}", file=sys.stderr)
             return 2
+        if args.tree:
+            print(f"// {len(events)} span events in {args.trace}")
+            print(format_forest(events))
+            return 0
         rows = aggregate_trace(events)
         if args.format == "json":
             print(json.dumps({"events": len(events), "spans": rows}))
@@ -737,6 +827,15 @@ def cmd_events(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.follow:
+        if args.file is None:
+            print(
+                "error: --follow tails a FILE, not a daemon "
+                "(the daemon's ring is a snapshot; poll it instead)",
+                file=sys.stderr,
+            )
+            return 2
+        return _follow_events_loop(args)
     if args.file is not None:
         try:
             records = read_events(args.file)
@@ -770,6 +869,32 @@ def cmd_events(args: argparse.Namespace) -> int:
             f"// {len(selected)}/{len(records)} events shown",
             file=sys.stderr,
         )
+    return 0
+
+
+def _follow_events_loop(args: argparse.Namespace) -> int:
+    """``repro events FILE --follow``: stream records as a live campaign
+    (or any ``--events`` writer) appends them, ``tail -f``-style.
+    Filters apply per record; Ctrl-C ends the tail cleanly."""
+    try:
+        for record in follow_events(args.file, poll_seconds=args.poll):
+            if not filter_events(
+                [record],
+                min_level=args.level,
+                name=args.name,
+                trace_id=args.trace_id,
+                span_id=args.span_id,
+            ):
+                continue
+            if args.json:
+                print(json.dumps(record, sort_keys=True), flush=True)
+            else:
+                print(format_event(record), flush=True)
+    except EventError as exc:
+        print(f"error: invalid event stream: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -922,6 +1047,11 @@ def _add_campaign_arguments(campaign: argparse.ArgumentParser) -> None:
                           help="also write the JSON report to this file")
     campaign.add_argument("--json", action="store_true",
                           help="emit the versioned JSON report on stdout")
+    campaign.add_argument("--http-port", type=int, default=None,
+                          metavar="PORT",
+                          help="serve GET /metrics and /healthz over HTTP "
+                               "on 127.0.0.1:PORT while the sweep runs "
+                               "(0 = ephemeral)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1129,6 +1259,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk result cache directory")
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the result cache")
+    serve.add_argument("--http-port", type=int, default=None, metavar="PORT",
+                       help="also serve GET /metrics, /healthz and /events "
+                            "over HTTP on this port (0 = ephemeral)")
+    serve.add_argument("--http-host", default="127.0.0.1", metavar="ADDR",
+                       help="bind address for --http-port "
+                            "(default: 127.0.0.1)")
     serve.set_defaults(func=cmd_serve)
 
     metrics = sub.add_parser(
@@ -1143,6 +1279,10 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--format", choices=("text", "json", "prometheus"),
                          default="text",
                          help="output format (prometheus needs --socket)")
+    metrics.add_argument("--tree", action="store_true",
+                         help="with --trace: print the span forest "
+                              "(multi-process traces group per pid) "
+                              "instead of the aggregate table")
     metrics.set_defaults(func=cmd_metrics)
 
     events = sub.add_parser(
@@ -1164,6 +1304,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="only events correlated with this span")
     events.add_argument("--tail", metavar="N", type=int, default=None,
                         help="show only the last N matching events")
+    events.add_argument("--follow", action="store_true",
+                        help="keep the FILE open and stream records as "
+                             "they are appended (tail -f); Ctrl-C stops")
+    events.add_argument("--poll", metavar="SECONDS", type=float, default=0.5,
+                        help="idle re-read interval for --follow "
+                             "(default: 0.5)")
     events.add_argument("--json", action="store_true",
                         help="print raw JSON envelopes, one per line")
     events.set_defaults(func=cmd_events)

@@ -14,6 +14,14 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
 * **events** (:mod:`repro.obs.events`) — a leveled, sampled,
   trace-correlated structured event log with JSONL persistence, an
   in-memory ring buffer, and a stdlib ``logging`` bridge;
+* **propagate** (:mod:`repro.obs.propagate`) — W3C-traceparent-style
+  trace-context propagation across process boundaries (campaign
+  driver → pool workers, client → daemon) and the ``merge_traces``
+  stitcher that turns per-worker files into one causal trace;
+* **exporter** (:mod:`repro.obs.exporter`) — a dependency-free HTTP
+  thread serving ``/metrics`` (Prometheus text), ``/healthz`` and
+  ``/events`` for ``repro serve --http-port`` and long campaign
+  drives;
 * **bench** (:mod:`repro.obs.bench`) — a declarative benchmark registry
   and runner over the registered apps, the schema-versioned
   ``BENCH_*.json`` perf trajectory, and the regression-gate comparator
@@ -56,12 +64,18 @@ from repro.obs.events import (
     LoggingBridge,
     NullEventLog,
     filter_events,
+    follow_events,
     format_event,
     get_event_log,
     installed_event_log,
     read_events,
     set_event_log,
     validate_events,
+)
+from repro.obs.exporter import (
+    MetricsExporter,
+    NullExporter,
+    maybe_exporter,
 )
 from repro.obs.metrics import (
     DEFAULT_TIME_BUCKETS,
@@ -78,6 +92,14 @@ from repro.obs.report import (
     render_report,
     write_report,
 )
+from repro.obs.propagate import (
+    PropagationError,
+    TraceContext,
+    current_context,
+    merge_traces,
+    shard_trace_payload,
+    worker_traced,
+)
 from repro.obs.sinks import (
     JsonlTraceWriter,
     JsonlWriter,
@@ -85,9 +107,12 @@ from repro.obs.sinks import (
     TraceError,
     TraceWarning,
     aggregate_trace,
+    build_forest,
     read_jsonl,
     format_aggregate_table,
+    format_forest,
     format_tree,
+    orphan_events,
     read_trace,
     trace_root_seconds,
     validate_trace,
@@ -120,12 +145,22 @@ __all__ = [
     "LoggingBridge",
     "NullEventLog",
     "filter_events",
+    "follow_events",
     "format_event",
     "get_event_log",
     "installed_event_log",
     "read_events",
     "set_event_log",
     "validate_events",
+    "MetricsExporter",
+    "NullExporter",
+    "maybe_exporter",
+    "PropagationError",
+    "TraceContext",
+    "current_context",
+    "merge_traces",
+    "shard_trace_payload",
+    "worker_traced",
     "JsonlWriter",
     "TraceWarning",
     "read_jsonl",
@@ -153,9 +188,12 @@ __all__ = [
     "RingBufferSink",
     "TraceError",
     "aggregate_trace",
+    "build_forest",
     "format_aggregate_table",
     "trace_root_seconds",
+    "format_forest",
     "format_tree",
+    "orphan_events",
     "read_trace",
     "validate_trace",
     "NullTracer",

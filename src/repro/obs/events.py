@@ -37,6 +37,7 @@ run.
 from __future__ import annotations
 
 import collections
+import json
 import logging
 import threading
 import time
@@ -357,6 +358,62 @@ def filter_events(
     if tail is not None and tail >= 0:
         out = out[len(out) - min(tail, len(out)):]
     return out
+
+
+def follow_events(
+    path,
+    *,
+    poll_seconds: float = 0.5,
+    sleep: Callable[[float], None] = time.sleep,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[dict]:
+    """Yield validated event records from a JSONL file as they are
+    appended — ``tail -f`` for ``--events`` streams, no daemon needed.
+
+    Polls by byte offset every ``poll_seconds``.  The same crashed-writer
+    tolerance as :func:`repro.obs.sinks.read_jsonl`, live: a final line
+    still missing its newline is an in-flight ``os.write``, so it stays
+    buffered until the rest arrives instead of being parsed half-done.
+    A *complete* line that fails validation raises :class:`EventError` —
+    that was a full write, so corruption there is real.  A file that
+    does not exist yet is waited for.  ``stop`` (checked once per poll)
+    and ``sleep`` are injectable so tests can drive the loop without
+    wall-clock time; without a ``stop``, iterate until interrupted.
+    """
+    from pathlib import Path
+
+    target = Path(path)
+    offset = 0
+    buffer = b""
+    while True:
+        chunk = b""
+        if target.exists():
+            with open(target, "rb") as handle:
+                handle.seek(offset)
+                chunk = handle.read()
+                offset += len(chunk)
+        if chunk:
+            buffer += chunk
+            while True:
+                line, newline, rest = buffer.partition(b"\n")
+                if not newline:
+                    break
+                buffer = rest
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                try:
+                    record = json.loads(text)
+                except json.JSONDecodeError as exc:
+                    raise EventError(
+                        f"{target}: invalid JSON on a complete line: {exc}"
+                    ) from exc
+                validate_event_record(record)
+                yield record
+            continue  # a burst may already hold more complete lines
+        if stop is not None and stop():
+            return
+        sleep(poll_seconds)
 
 
 def format_event(record: dict) -> str:

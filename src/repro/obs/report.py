@@ -379,6 +379,9 @@ def _timeline_section(manifest: dict) -> str:
             obs.get("queue_wait_seconds"),
             obs.get("attempts", record.get("attempts")),
             obs.get("timeouts"),
+            # Worker-process provenance (distributed tracing, PR 8);
+            # manifests from older campaigns simply lack the key.
+            obs.get("pid"),
         ))
     longest = max(
         (row[2] for row in rows if isinstance(row[2], (int, float))),
@@ -405,7 +408,8 @@ def _timeline_section(manifest: dict) -> str:
     )
     return (
         "<h2>Shard timeline</h2>" + svg + _table(
-            ("shard", "status", "run s", "queue s", "attempts", "timeouts"),
+            ("shard", "status", "run s", "queue s", "attempts", "timeouts",
+             "pid"),
             rows, name_columns=2,
         )
     )

@@ -155,6 +155,83 @@ def format_tree(root: Span) -> str:
     return "\n".join(lines)
 
 
+def build_forest(events: Iterable[dict]) -> list[Span]:
+    """Reconstruct renderable span trees from flat trace events —
+    including multi-process merged traces.
+
+    Spans link to their parents by ``(trace_id, parent_id)``.  A span
+    whose parent id is absent from the stream (worker killed mid-write,
+    unmerged per-worker file) is **never dropped**: orphans are grouped
+    under one synthetic ``<orphaned>`` root per process (``pid`` key,
+    stamped by :func:`repro.obs.propagate.merge_traces`; events without
+    one share a single root).  The synthetic root's duration is the sum
+    of its children, so :func:`format_tree` percentages stay sane.
+
+    Returns roots in stream order: real roots first, synthetic orphan
+    roots after, ordered by pid.
+    """
+    events = list(events)
+    nodes: dict[tuple[str, int], Span] = {}
+    for event in events:
+        node = Span(
+            event["name"],
+            dict(event["attrs"]),
+            trace_id=event["trace_id"],
+            span_id=event["span_id"],
+            parent=None,
+            start_seconds=float(event["start_seconds"]),
+            start_cpu=0.0,
+        )
+        node.duration_seconds = float(event["duration_seconds"])
+        node.cpu_seconds = float(event["cpu_seconds"])
+        node.counters = dict(event["counters"])
+        nodes[(event["trace_id"], event["span_id"])] = node
+    roots: list[Span] = []
+    orphans_by_pid: dict[object, list[Span]] = {}
+    for event in events:
+        node = nodes[(event["trace_id"], event["span_id"])]
+        if event["parent_id"] is None:
+            roots.append(node)
+            continue
+        parent = nodes.get((event["trace_id"], event["parent_id"]))
+        if parent is not None:
+            node.parent = parent
+            parent.children.append(node)
+        else:
+            orphans_by_pid.setdefault(event.get("pid"), []).append(node)
+    for pid in sorted(orphans_by_pid, key=lambda p: (p is not None, p)):
+        orphans = orphans_by_pid[pid]
+        attrs = {} if pid is None else {"pid": pid}
+        synthetic = Span(
+            "<orphaned>",
+            attrs,
+            trace_id=orphans[0].trace_id,
+            span_id=0,
+            parent=None,
+            start_seconds=orphans[0].start_seconds,
+            start_cpu=0.0,
+        )
+        synthetic.duration_seconds = sum(
+            orphan.duration_seconds or 0.0 for orphan in orphans
+        )
+        synthetic.cpu_seconds = 0.0
+        for orphan in orphans:
+            orphan.parent = synthetic
+            synthetic.children.append(orphan)
+        roots.append(synthetic)
+    # A merged trace interleaves children before parents, so children
+    # were appended in close order; render them in start order instead.
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.start_seconds)
+    return roots
+
+
+def format_forest(events: Iterable[dict]) -> str:
+    """Render every tree in a (possibly multi-process) trace, one
+    :func:`format_tree` block per root, orphan groups included."""
+    return "\n".join(format_tree(root) for root in build_forest(events))
+
+
 # ---------------------------------------------------------------------------
 # Reading traces back
 # ---------------------------------------------------------------------------
@@ -265,24 +342,41 @@ def read_trace(path: str | Path) -> list[dict]:
     return read_jsonl(path, validate=check, error=TraceError)
 
 
+def orphan_events(events: Iterable[dict]) -> list[dict]:
+    """Span events whose parent id is absent from the stream — the
+    signature of a run (or pool worker) killed before an enclosing span
+    could close, or of a per-worker file read on its own (its
+    ``remote_parent`` edge points into the *driver's* file)."""
+    present: set[tuple[str, int]] = {
+        (event["trace_id"], event["span_id"]) for event in events
+    }
+    return [
+        event for event in events
+        if event["parent_id"] is not None
+        and (event["trace_id"], event["parent_id"]) not in present
+    ]
+
+
 def validate_trace(path: str | Path) -> list[dict]:
     """:func:`read_trace` plus structural checks: the file must be
-    non-empty and every trace must end in a *closed root* span."""
+    non-empty, and spans whose parent never closed (an interrupted run,
+    a worker killed mid-write, an unmerged per-worker file) are counted
+    in a :class:`TraceWarning` — reported, never dropped; renderers
+    group them under a synthetic ``<orphaned>`` root (see
+    :func:`build_forest`)."""
     events = read_trace(path)
     if not events:
         raise TraceError(f"{path}: trace file holds no span events")
-    roots_by_trace: dict[str, int] = {}
-    for event in events:
-        if event["parent_id"] is None:
-            roots_by_trace[event["trace_id"]] = (
-                roots_by_trace.get(event["trace_id"], 0) + 1
-            )
-    traces = {event["trace_id"] for event in events}
-    unrooted = sorted(traces - set(roots_by_trace))
-    if unrooted:
-        raise TraceError(
-            f"{path}: traces {unrooted} have no closed root span "
-            f"(the run was interrupted mid-span?)"
+    orphans = orphan_events(events)
+    if orphans:
+        traces = sorted({event["trace_id"] for event in orphans})
+        warnings.warn(
+            f"{path}: {len(orphans)} orphaned span(s) in traces {traces} "
+            f"— their parents never closed (interrupted run, killed "
+            f"worker, or an unmerged per-worker file); renderers group "
+            f"them under a synthetic <orphaned> root",
+            TraceWarning,
+            stacklevel=2,
         )
     return events
 

@@ -34,7 +34,7 @@ class Span:
     __slots__ = (
         "name", "attrs", "counters", "children", "parent",
         "trace_id", "span_id", "start_seconds", "duration_seconds",
-        "_start_cpu", "cpu_seconds",
+        "_start_cpu", "cpu_seconds", "remote_parent",
     )
 
     def __init__(
@@ -47,6 +47,7 @@ class Span:
         parent: Optional["Span"],
         start_seconds: float,
         start_cpu: float,
+        remote_parent: Optional[int] = None,
     ) -> None:
         self.name = name
         self.attrs = attrs
@@ -59,6 +60,9 @@ class Span:
         self._start_cpu = start_cpu
         self.duration_seconds: Optional[float] = None
         self.cpu_seconds: Optional[float] = None
+        #: Span id of a parent living in *another process* (attached via
+        #: :meth:`Tracer.attached`); only ever set on local roots.
+        self.remote_parent = remote_parent
 
     # -- recording -------------------------------------------------------
 
@@ -116,13 +120,25 @@ class Span:
 
 
 def span_event(span: Span) -> dict:
-    """The flat, one-line JSONL form of one closed span."""
-    return {
+    """The flat, one-line JSONL form of one closed span.
+
+    A local root carrying a *remote* parent (a span in another process,
+    attached via :meth:`Tracer.attached`) emits that parent's id as its
+    ``parent_id`` plus a ``remote_parent: true`` marker, so
+    :func:`repro.obs.propagate.merge_traces` knows the id belongs to the
+    driver's numbering, not this file's.  Purely local spans emit the
+    exact key set they always did — the golden trace stays byte-stable.
+    """
+    if span.parent is not None:
+        parent_id = span.parent.span_id
+    else:
+        parent_id = span.remote_parent
+    event = {
         "schema": TRACE_SCHEMA,
         "event": "span",
         "trace_id": span.trace_id,
         "span_id": span.span_id,
-        "parent_id": None if span.parent is None else span.parent.span_id,
+        "parent_id": parent_id,
         "name": span.name,
         "start_seconds": span.start_seconds,
         "duration_seconds": span.duration_seconds,
@@ -130,6 +146,9 @@ def span_event(span: Span) -> dict:
         "attrs": dict(span.attrs),
         "counters": dict(span.counters),
     }
+    if span.parent is None and span.remote_parent is not None:
+        event["remote_parent"] = True
+    return event
 
 
 class Tracer:
@@ -171,17 +190,42 @@ class Tracer:
         return stack[-1] if stack else None
 
     @contextmanager
+    def attached(self, context) -> Iterator[None]:
+        """Attach a remote parent context to this thread.
+
+        ``context`` is anything with ``trace_id``/``span_id`` attributes
+        (normally a :class:`repro.obs.propagate.TraceContext` parsed
+        from a traceparent string), or ``None`` for a no-op attach.
+        While attached, *root* spans this thread opens adopt the remote
+        trace id and record the remote span id as their
+        :attr:`Span.remote_parent` — the cross-process half of the
+        parent chain that :func:`repro.obs.propagate.merge_traces`
+        stitches back together.  Non-root spans are untouched.
+        """
+        previous = getattr(self._local, "remote", None)
+        self._local.remote = context
+        try:
+            yield
+        finally:
+            self._local.remote = previous
+
+    @contextmanager
     def span(self, name: str, **attrs) -> Iterator[Span]:
         stack = self._stack()
         parent = stack[-1] if stack else None
+        remote = (
+            getattr(self._local, "remote", None) if parent is None else None
+        )
         with self._lock:
             self._next_span_id += 1
             span_id = self._next_span_id
-            if parent is None:
+            if parent is not None:
+                trace_id = parent.trace_id
+            elif remote is not None:
+                trace_id = remote.trace_id
+            else:
                 self._next_trace_id += 1
                 trace_id = f"t{self._next_trace_id}"
-            else:
-                trace_id = parent.trace_id
         span = Span(
             name,
             attrs,
@@ -190,6 +234,7 @@ class Tracer:
             parent=parent,
             start_seconds=self.wall_clock(),
             start_cpu=self.cpu_clock(),
+            remote_parent=None if remote is None else remote.span_id,
         )
         if parent is not None:
             parent.children.append(span)
@@ -216,6 +261,7 @@ class _NullSpan:
     cpu_seconds = None
     closed = False
     is_root = False
+    remote_parent = None
 
     def set_attr(self, name: str, value) -> None:
         pass
@@ -251,6 +297,11 @@ class NullTracer:
 
     def current(self) -> None:
         return None
+
+    def attached(self, context) -> _NullSpan:
+        # The shared null span doubles as a no-op context manager, so
+        # attaching a remote context with tracing off costs one call.
+        return _NULL_SPAN
 
 
 _NULL_TRACER = NullTracer()

@@ -49,6 +49,7 @@ from repro.chaos.injector import (
 )
 from repro.obs import get_tracer, global_registry
 from repro.obs.events import get_event_log
+from repro.obs.propagate import shard_trace_payload, worker_traced
 from repro.runtime.stabilization import InjectionTrial
 from repro.service.pool import ResilientPool, TaskFailure
 
@@ -300,6 +301,13 @@ def run_shard(payload: dict) -> dict:
     each planned fault fires on the first delivery only, so the retry
     of a killed shard completes — and, trials being pure functions of
     ``(app, site, seed, …)``, completes with identical records.
+
+    When the payload carries a ``trace`` context (``--trace``), the
+    shard runs under :func:`repro.obs.propagate.worker_traced`: a
+    process-wide worker tracer writes ``worker-<pid>.trace.jsonl`` next
+    to the driver's trace and this shard's spans — ``worker.shard``
+    plus every trial span nested inside — stay causally linked to the
+    driver's ``campaign_drive`` span across the pickle boundary.
     """
     start = time.perf_counter()
     chaos_cfg = payload.get("chaos")
@@ -309,27 +317,38 @@ def run_shard(payload: dict) -> dict:
     )
     shard_id = payload["shard_id"]
     chaos.hang_point("worker.shard", shard_id)
-    experiment = resolve_experiment(
-        payload["app"],
-        payload.get("iterations"),
-        step_budget=payload.get("step_budget"),
-        step_budget_factor=payload.get("step_budget_factor"),
-    )
-    crash_after = len(payload["sites"]) // 2
-    trials = []
-    for done, (site, seed) in enumerate(zip(payload["sites"], payload["seeds"])):
-        trials.append(trial_record(
+    with worker_traced(
+        payload.get("trace"), shard_id=shard_id, app=payload["app"]
+    ) as shard_span:
+        experiment = resolve_experiment(
             payload["app"],
-            experiment.trial_at(site, seed=seed, burst=payload.get("burst", 1)),
-        ))
-        if done == crash_after:
-            # Mid-shard, after real work: the kill a preempted/OOMed
-            # worker takes, with trial results already computed and lost.
-            chaos.crash_point("worker.shard", shard_id)
+            payload.get("iterations"),
+            step_budget=payload.get("step_budget"),
+            step_budget_factor=payload.get("step_budget_factor"),
+        )
+        crash_after = len(payload["sites"]) // 2
+        trials = []
+        for done, (site, seed) in enumerate(
+            zip(payload["sites"], payload["seeds"])
+        ):
+            trials.append(trial_record(
+                payload["app"],
+                experiment.trial_at(
+                    site, seed=seed, burst=payload.get("burst", 1)
+                ),
+            ))
+            if done == crash_after:
+                # Mid-shard, after real work: the kill a preempted/OOMed
+                # worker takes, with trial results already computed and
+                # lost.
+                chaos.crash_point("worker.shard", shard_id)
+        if shard_span is not None:
+            shard_span.count("trials", len(trials))
     return {
         "shard_id": shard_id,
         "trials": trials,
         "run_seconds": time.perf_counter() - start,
+        "pid": os.getpid(),
     }
 
 
@@ -448,6 +467,11 @@ class CampaignRunner:
     config: CampaignConfig
     checkpoint_path: Optional[Path] = None
     max_workers: int = 1
+    #: Directory pool workers write ``worker-<pid>.trace.jsonl`` files
+    #: into (``<trace>.workers/``); None keeps propagation off.  Not
+    #: part of :class:`CampaignConfig` — tracing must not change the
+    #: fingerprint, a resumed campaign may toggle it freely.
+    trace_dir: Optional[Path] = None
     shard_timeout: Optional[float] = None
     max_retries: int = 2
     backoff_base: float = 0.25
@@ -535,6 +559,13 @@ class CampaignRunner:
                 payload["chaos"] = worker_chaos
             payloads.append(payload)
         with tracer.span("campaign_drive", shards=len(pending)) as drive:
+            # Stamped inside the span so workers parent under
+            # campaign_drive itself; None (tracing off) stays absent
+            # from the payload, byte-identical to pre-tracing shards.
+            shard_trace = shard_trace_payload(self.trace_dir)
+            if shard_trace is not None:
+                for payload in payloads:
+                    payload["trace"] = shard_trace
             drive_start = time.perf_counter()
             for index, result in pool.run(run_shard, payloads):
                 shard = pending[index]
@@ -624,6 +655,7 @@ class CampaignRunner:
                     1 for t in result["trials"]
                     if t["verdict"] == TIMEOUT
                 ),
+                "pid": result.get("pid"),
             }
             record = {
                 "status": "done",
@@ -767,6 +799,7 @@ def run_campaign(
     *,
     checkpoint_path: Optional[Path] = None,
     max_workers: int = 1,
+    trace_dir: Optional[Path] = None,
     shard_timeout: Optional[float] = None,
     fresh: bool = False,
     progress: Optional[Callable[[str], None]] = None,
@@ -776,6 +809,7 @@ def run_campaign(
         config=config,
         checkpoint_path=checkpoint_path,
         max_workers=max_workers,
+        trace_dir=trace_dir,
         shard_timeout=shard_timeout,
         fresh=fresh,
         progress=progress,

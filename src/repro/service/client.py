@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import Callable, Optional
 
 from repro.chaos.injector import chaos_recovery, get_chaos
+from repro.obs.propagate import current_context
 from repro.service import protocol
 
 
@@ -229,7 +230,17 @@ class ReproClient:
         are single-line and responses idempotent to re-ask for, so one
         replay is safe and covers both daemon restarts and injected
         ``socket-drop`` faults.
+
+        When the caller is inside an active trace span, the request is
+        stamped with a ``trace`` traceparent field so the daemon's
+        ``op.*`` span joins the caller's distributed trace.  No active
+        span (the common case — tracing off) leaves the payload
+        untouched, byte-identical to pre-tracing clients.
         """
+        if "trace" not in payload:
+            context = current_context()
+            if context is not None:
+                payload = {**payload, "trace": context.to_traceparent()}
         deadline = self._start_deadline()
         self._request_seq += 1
         key = f"{payload.get('op', 'request')}:{self._request_seq}"

@@ -19,6 +19,16 @@ Payload kinds:
 Serialization is newline-delimited: :func:`dumps` produces exactly one
 line (no interior newlines), which is what the daemon speaks over its
 Unix socket.
+
+Daemon **requests** may carry one optional envelope field on top of the
+per-op fields: ``trace``, a W3C-traceparent-style string
+(``"00-<trace_id>-<span_id>-01"``, see :mod:`repro.obs.propagate`)
+naming the calling client's active span.  The daemon then records that
+span as the remote parent of its ``op.<name>`` span, stitching daemon
+work into the client's distributed trace.  The field is additive and
+optional: requests without it are handled exactly as before (old
+clients stay byte-compatible), and a malformed value is answered with
+an ``ok: false`` response, never a dropped connection.
 """
 
 from __future__ import annotations

@@ -31,11 +31,17 @@ Observability: the daemon installs a :class:`~repro.obs.Tracer` (ring
 buffer sink) for its lifetime, wraps every operation in an ``op.<name>``
 span — handler threads each grow their own well-nested tree — and wires
 cache hit/miss/eviction statistics and pool latency histograms into a
-per-server metrics registry.  See ``docs/OBSERVABILITY.md``.
+per-server metrics registry.  Requests may carry an optional ``trace``
+traceparent field: the op span then records the calling client's span
+as its remote parent, linking daemon work into the client's distributed
+trace.  ``--http-port`` additionally serves ``/metrics``, ``/healthz``
+and ``/events`` over HTTP (:mod:`repro.obs.exporter`).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
+import os
 import socketserver
 import threading
 import time
@@ -60,6 +66,8 @@ from repro.obs import (
 )
 from repro.chaos.injector import get_chaos
 from repro.obs.events import EventError, get_event_log, set_event_log
+from repro.obs.exporter import maybe_exporter
+from repro.obs.propagate import PropagationError, TraceContext
 from repro.service import protocol
 from repro.service.cache import ResultCache
 from repro.service.pool import CheckerPool
@@ -115,6 +123,8 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         cache: Optional[ResultCache] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        http_port: Optional[int] = None,
+        http_host: str = "127.0.0.1",
     ) -> None:
         from repro.service.client import remove_stale_socket, socket_is_live
 
@@ -156,6 +166,18 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         self.event_buffer = EventBuffer(capacity=512)
         self.event_log = EventLog(level="debug", sinks=(self.event_buffer,))
         self._previous_event_log = set_event_log(self.event_log)
+        # The HTTP observability plane: /metrics byte-equal to the
+        # socket `metrics` op (same prepare + render path), /healthz
+        # from the drain accounting, /events from the same ring the
+        # `events` op reads.  NullExporter when no port is configured.
+        self.exporter = maybe_exporter(
+            http_port,
+            host=http_host,
+            registry=self.metrics,
+            prepare=self._sync_cache_metrics,
+            events=lambda: self.event_buffer.records,
+            health=self._health,
+        )
         self.event_log.emit(
             "daemon.start", level="info", socket=self.socket_path
         )
@@ -210,8 +232,22 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             set_tracer(self._previous_tracer)
         if get_event_log() is self.event_log:
             set_event_log(self._previous_event_log)
+        self.exporter.close()
         self.server_close()
         Path(self.socket_path).unlink(missing_ok=True)
+
+    def _health(self) -> dict:
+        """The ``/healthz`` document body (``ok`` comes from the
+        exporter): liveness facts a probe or operator wants first."""
+        with self._lock:
+            served = self._request_counter
+        return {
+            "pid": os.getpid(),
+            "socket": self.socket_path,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "inflight": self.inflight(),
+            "requests_served": served,
+        }
 
     # -- dispatch --------------------------------------------------------
 
@@ -226,6 +262,19 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         op = request.get("op")
         if op not in OPS:
             return self._error(request_id, str(op), f"unknown op {op!r}")
+        # Optional distributed-tracing context: a client running under
+        # an active span stamps its traceparent, and the op span below
+        # adopts the caller's trace as its remote parent.  Absent field
+        # → context is None → attached() is a no-op, so old clients see
+        # byte-identical behaviour.
+        context: Optional[TraceContext] = None
+        if "trace" in request:
+            try:
+                context = TraceContext.from_traceparent(request["trace"])
+            except PropagationError as exc:
+                return self._error(
+                    request_id, op, f"bad trace context: {exc}"
+                )
         with self._lock:
             self._op_counts[op] += 1
         self.metrics.counter(
@@ -236,7 +285,9 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         ).inc()
         try:
             handler = getattr(self, f"_op_{op}")
-            with self.tracer.span(f"op.{op}", request_id=request_id) as span:
+            with self.tracer.attached(context), self.tracer.span(
+                f"op.{op}", request_id=request_id
+            ) as span:
                 # Inside the span, so the event joins it on
                 # (trace_id, span_id) — except for `events` itself,
                 # which would pollute the very ring it is reading.
@@ -411,10 +462,16 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
 
 
 def serve(
-    socket_path: str | Path, *, cache: Optional[ResultCache] = None
+    socket_path: str | Path,
+    *,
+    cache: Optional[ResultCache] = None,
+    http_port: Optional[int] = None,
+    http_host: str = "127.0.0.1",
 ) -> None:
     """Run a daemon until it is shut down (blocking)."""
-    server = ReproServer(socket_path, cache=cache)
+    server = ReproServer(
+        socket_path, cache=cache, http_port=http_port, http_host=http_host
+    )
     try:
         server.serve_forever()
     finally:

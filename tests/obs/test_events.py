@@ -351,3 +351,90 @@ class TestFilterAndFormat:
         assert "trial.diverged" in line
         assert "never recovered" in line
         assert "site=4" in line
+
+
+class TestFollowEvents:
+    """`repro events FILE --follow`: a polling tail that tolerates
+    in-flight writes and refuses corrupt complete lines."""
+
+    @staticmethod
+    def _record(seq: int, name: str = "trial.corrupted") -> dict:
+        return {
+            "schema": EVENTS_SCHEMA, "event": "log", "seq": seq,
+            "time_seconds": float(seq), "level": "info", "name": name,
+            "message": "", "trace_id": None, "span_id": None, "attrs": {},
+        }
+
+    @classmethod
+    def _line(cls, seq: int, **kwargs) -> bytes:
+        return (json.dumps(cls._record(seq, **kwargs)) + "\n").encode()
+
+    def _drive(self, path, script):
+        """Run follow_events with an injected sleep that executes one
+        step of `script` per idle poll, stopping when it runs dry."""
+        from repro.obs import follow_events
+
+        steps = iter(script)
+        done = []
+
+        def sleep(_seconds):
+            step = next(steps, None)
+            if step is None:
+                done.append(True)
+            else:
+                step()
+
+        return list(
+            follow_events(
+                path, sleep=sleep, stop=lambda: bool(done),
+                poll_seconds=0.0,
+            )
+        )
+
+    def test_streams_appended_records(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(self._line(1))
+        script = [
+            lambda: path.open("ab").write(self._line(2)),
+            lambda: path.open("ab").write(self._line(3)),
+        ]
+        records = self._drive(path, script)
+        assert [r["seq"] for r in records] == [1, 2, 3]
+
+    def test_waits_for_a_file_that_does_not_exist_yet(self, tmp_path):
+        path = tmp_path / "later.jsonl"
+        script = [lambda: path.write_bytes(self._line(1))]
+        records = self._drive(path, script)
+        assert [r["seq"] for r in records] == [1]
+
+    def test_truncated_final_line_buffers_until_complete(self, tmp_path):
+        """An in-flight os.write (no newline yet) must not be parsed
+        half-done — the tail buffers it until the rest lands."""
+        path = tmp_path / "events.jsonl"
+        whole = self._line(1)
+        path.write_bytes(whole[:10])
+        script = [lambda: path.open("ab").write(whole[10:])]
+        records = self._drive(path, script)
+        assert [r["seq"] for r in records] == [1]
+
+    def test_complete_corrupt_line_raises(self, tmp_path):
+        from repro.obs import follow_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b"{torn but newline-terminated\n")
+        with pytest.raises(EventError, match="complete line"):
+            next(follow_events(path, sleep=lambda _s: None))
+
+    def test_invalid_envelope_on_complete_line_raises(self, tmp_path):
+        from repro.obs import follow_events
+
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(b'{"schema": 1}\n')
+        with pytest.raises(EventError, match="missing keys"):
+            next(follow_events(path, sleep=lambda _s: None))
+
+    def test_stop_ends_iteration_cleanly(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_bytes(self._line(1))
+        records = self._drive(path, [])  # stop on the first idle poll
+        assert [r["seq"] for r in records] == [1]

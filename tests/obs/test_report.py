@@ -76,6 +76,7 @@ def _reference_manifest() -> dict:
                 "obs": {
                     "run_seconds": 0.25, "queue_wait_seconds": 0.05,
                     "attempts": 1, "retries": 0, "timeouts": 0,
+                    "pid": 4242,
                 },
             },
             "wind_sensor:0001": {

@@ -17,7 +17,9 @@ from repro.obs import (
     Tracer,
     aggregate_trace,
     format_aggregate_table,
+    format_forest,
     format_tree,
+    orphan_events,
     read_trace,
     trace_root_seconds,
     validate_trace,
@@ -177,17 +179,22 @@ class TestTraceValidation:
         with pytest.raises(TraceError, match="no span events"):
             validate_trace(path)
 
-    def test_unrooted_trace_rejected(self, tmp_path):
+    def test_unrooted_trace_warns_but_survives(self, tmp_path):
+        """A run killed mid-span leaves children whose root never
+        closed.  That partial trace is evidence, not garbage: validation
+        warns and returns the events instead of rejecting them (the
+        renderer groups the orphans under a synthetic root)."""
         path = tmp_path / "torn.jsonl"
         _write_reference_trace(path)
         events = read_trace(path)
-        # drop the root: simulates a run killed mid-span
         torn = [e for e in events if e["parent_id"] is not None]
         path.write_text(
             "\n".join(json.dumps(e) for e in torn) + "\n"
         )
-        with pytest.raises(TraceError, match="no closed root span"):
-            validate_trace(path)
+        with pytest.warns(TraceWarning, match="orphaned span"):
+            survivors = validate_trace(path)
+        assert len(survivors) == len(torn)
+        assert orphan_events(survivors)
 
     def test_invalid_json_line_rejected(self, tmp_path):
         path = tmp_path / "bad.jsonl"
