@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full examples check-apps batch-check clean
+.PHONY: test bench bench-full bench-trend profile-smoke examples \
+        check-apps batch-check clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -12,6 +13,22 @@ bench:
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# Perf trajectory over the checked-in bench history (docs/BENCHMARKS.md).
+bench-trend:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench trend
+
+# Profiler smoke: the NullProfiler overhead pin plus a real sampled run
+# whose payload must pass validate_profile (docs/BENCHMARKS.md).
+profile-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/obs/test_profile.py -q
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench \
+	  --scenario interpreter-step/wind_sensor --warmup 0 --repetitions 3 \
+	  --profile-json PROFILE_smoke.json --output BENCH_smoke.json
+	PYTHONPATH=src $(PYTHON) -c "from repro.obs.profile import \
+	read_profile; p = read_profile('PROFILE_smoke.json'); \
+	print('profile-smoke ok:', p['sample_count'], 'samples')"
+	rm -f PROFILE_smoke.json BENCH_smoke.json
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -128,6 +128,13 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--profile", action="store_true",
                         help="print the span tree with per-phase "
                              "percentages to stderr")
+    parser.add_argument("--profile-json", metavar="FILE", default=None,
+                        help="run a sampling profiler and write the "
+                             "PROFILE json payload to FILE")
+    parser.add_argument("--profile-interval", type=float, default=None,
+                        metavar="SECONDS",
+                        help="sampling interval for --profile-json "
+                             "(default: 0.005)")
 
 
 @contextlib.contextmanager
@@ -157,6 +164,38 @@ def _event_logged(args: argparse.Namespace):
 
 
 @contextlib.contextmanager
+def _profiled(args: argparse.Namespace):
+    """Run a command under a :class:`SamplingProfiler` when
+    ``--profile-json`` asks for one; the payload lands in the named
+    file on exit.  Otherwise the no-op profiler stays and the
+    instrumented anchors pay ~nothing."""
+    profile_path = getattr(args, "profile_json", None)
+    if not profile_path:
+        yield
+        return
+    from repro.obs.profile import (
+        DEFAULT_INTERVAL,
+        SamplingProfiler,
+        installed_profiler,
+        write_profile,
+    )
+
+    interval = getattr(args, "profile_interval", None) or DEFAULT_INTERVAL
+    profiler = SamplingProfiler(interval_seconds=interval)
+    try:
+        with installed_profiler(profiler):
+            with profiler:
+                yield
+    finally:
+        out = write_profile(profiler.payload(), profile_path)
+        print(
+            f"// profile written to {out} "
+            f"({profiler.sample_count} samples)",
+            file=sys.stderr,
+        )
+
+
+@contextlib.contextmanager
 def _observed(args: argparse.Namespace, root_name: str, **attrs):
     """Run a command under a tracer when ``--trace``/``--profile`` ask
     for one (and an event log when ``--events``/``--log-level`` do);
@@ -164,6 +203,7 @@ def _observed(args: argparse.Namespace, root_name: str, **attrs):
     first, so events emitted inside the root span carry its ids."""
     with contextlib.ExitStack() as stack:
         stack.enter_context(_event_logged(args))
+        stack.enter_context(_profiled(args))
         if not (getattr(args, "trace", None)
                 or getattr(args, "profile", False)):
             with get_tracer().span(root_name, **attrs):
@@ -899,10 +939,10 @@ def _follow_events_loop(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    if not (args.campaign or args.events or args.bench):
+    if not (args.campaign or args.events or args.bench or args.history):
         print(
             "error: report needs at least one input "
-            "(--campaign / --events / --bench)",
+            "(--campaign / --events / --bench / --history)",
             file=sys.stderr,
         )
         return 2
@@ -912,6 +952,8 @@ def cmd_report(args: argparse.Namespace) -> int:
             campaign_path=args.campaign,
             events_path=args.events,
             bench_paths=args.bench or (),
+            history_dir=args.history,
+            trend_threshold=args.trend_threshold,
             title=args.title,
             generated_at=args.generated_at,
         )
@@ -928,8 +970,10 @@ def cmd_report(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs.bench import (
         BenchError,
+        attribute_benchmarks,
         bench_payload,
         compare_benchmarks,
+        format_attribution,
         format_bench_table,
         format_comparison,
         get_scenario,
@@ -939,7 +983,55 @@ def cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
+    def emit_comparison(comparison: dict) -> None:
+        if args.json:
+            print(protocol.dumps({
+                "version": protocol.PROTOCOL_VERSION,
+                "kind": "bench-compare",
+                **comparison,
+            }))
+        else:
+            print(format_comparison(comparison))
+        if comparison["missing"]:
+            # The gate is about to fail; name the scenarios that
+            # vanished where the CI log reader will look first.
+            print(
+                "error: scenario(s) missing from the new run: "
+                + ", ".join(comparison["missing"]),
+                file=sys.stderr,
+            )
+
     try:
+        if args.action == "trend":
+            from repro.obs.history import bench_trend, format_trend_table
+
+            trend = bench_trend(
+                args.history, threshold_pct=args.threshold
+            )
+            if args.json:
+                print(protocol.dumps({
+                    "version": protocol.PROTOCOL_VERSION,
+                    "kind": "bench-trend",
+                    **trend,
+                }))
+            else:
+                print(format_trend_table(trend))
+            return 0
+        if args.attribute is not None:
+            old_path, new_path = args.attribute
+            attribution = attribute_benchmarks(
+                read_bench(old_path), read_bench(new_path),
+                threshold_pct=args.threshold,
+            )
+            if args.json:
+                print(protocol.dumps({
+                    "version": protocol.PROTOCOL_VERSION,
+                    "kind": "bench-attribution",
+                    **attribution,
+                }))
+            else:
+                print(format_attribution(attribution))
+            return 0
         if args.report is not None:
             if args.compare or args.against:
                 print("error: --report does not combine with --compare",
@@ -965,7 +1057,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 read_bench(args.compare), read_bench(args.against),
                 args.threshold,
             )
-            print(format_comparison(comparison))
+            emit_comparison(comparison)
             return 0 if comparison["ok"] else 1
         if args.list:
             for name in scenario_names(args.suite):
@@ -983,6 +1075,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 warmup=args.warmup,
                 repetitions=args.repetitions,
                 progress=lambda line: print(f"// {line}", file=sys.stderr),
+                span_table=args.spans,
             )
         payload = bench_payload(
             results,
@@ -1000,7 +1093,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             comparison = compare_benchmarks(
                 read_bench(args.compare), payload, args.threshold
             )
-            print(format_comparison(comparison))
+            emit_comparison(comparison)
             return 0 if comparison["ok"] else 1
         return 0
     except BenchError as exc:
@@ -1327,6 +1420,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="bench payload for the trend table "
                              "(repeatable, in trend order)")
+    report.add_argument("--history", metavar="DIR", default=None,
+                        help="bench history directory; renders the perf-"
+                             "trajectory sparkline panel with changepoints")
+    report.add_argument("--trend-threshold", type=float, default=10.0,
+                        help="changepoint threshold percentage for "
+                             "--history (default: 10)")
     report.add_argument("--html", metavar="OUT.html", required=True,
                         help="output path for the dashboard")
     report.add_argument("--title", default="Stabilization report")
@@ -1337,8 +1436,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench",
-        help="run the benchmark suite, compare runs, or report a trace",
+        help="run the benchmark suite, compare runs, report a trace, "
+             "attribute a shift, or render the perf trajectory",
     )
+    bench.add_argument("action", nargs="?", choices=("trend",),
+                       default=None,
+                       help="'trend': aggregate the bench history "
+                            "directory into per-scenario trend series "
+                            "with changepoints, instead of running")
+    bench.add_argument("--history", metavar="DIR",
+                       default="benchmarks/history",
+                       help="bench history directory for 'trend' "
+                            "(default: benchmarks/history)")
+    bench.add_argument("--attribute", nargs=2,
+                       metavar=("OLD.json", "NEW.json"), default=None,
+                       help="rank which spans account for each "
+                            "scenario's median shift between two bench "
+                            "payloads carrying span tables (--spans)")
+    bench.add_argument("--spans", action="store_true",
+                       help="collect a per-scenario span self-time table "
+                            "into the payload (feeds --attribute)")
     bench.add_argument("--suite", choices=("small", "full"), default="small",
                        help="scenario suite to run (default: small)")
     bench.add_argument("--scenario", action="append", metavar="NAME",

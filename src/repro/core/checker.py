@@ -102,11 +102,14 @@ class SJavaChecker:
             self.call_graph: CallGraph = build_call_graph(info)
 
     def run(self) -> CheckReport:
+        from repro.obs.profile import get_profiler
+
         tracer = get_tracer()
-        with tracer.span("check") as span:
-            report = self._run(tracer)
-            span.count("diagnostics", len(report.diagnostics))
-            span.set_attr("self_stabilizing", report.self_stabilizing)
+        with get_profiler().section("checker.check"):
+            with tracer.span("check") as span:
+                report = self._run(tracer)
+                span.count("diagnostics", len(report.diagnostics))
+                span.set_attr("self_stabilizing", report.self_stabilizing)
         return report
 
     def _run(self, tracer) -> CheckReport:

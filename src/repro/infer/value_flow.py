@@ -138,7 +138,14 @@ class ValueFlowAnalysis:
         # Two passes give the fixed point in the presence of summaries
         # that may grow (the scope is recursion-free so one pass in
         # topological order already suffices; the second is a safety net).
+        from repro.obs.profile import get_profiler
+
         tracer = get_tracer()
+        with get_profiler().section("infer.fixpoint"):
+            self._run_rounds(order, tracer)
+        return self.graphs
+
+    def _run_rounds(self, order, tracer) -> None:
         for round_index in range(2):
             with tracer.span("fixpoint_round", round=round_index) as span:
                 changed = False
@@ -157,7 +164,6 @@ class ValueFlowAnalysis:
                 span.count("methods", len(order))
             if not changed:
                 break
-        return self.graphs
 
     def summary_for(self, key: MethodKey) -> MethodFlowSummary:
         return self.summaries.get(key, EMPTY_SUMMARY)

@@ -24,8 +24,17 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
   drives;
 * **bench** (:mod:`repro.obs.bench`) — a declarative benchmark registry
   and runner over the registered apps, the schema-versioned
-  ``BENCH_*.json`` perf trajectory, and the regression-gate comparator
-  behind ``repro bench --compare`` (see ``docs/BENCHMARKS.md``);
+  ``BENCH_*.json`` perf trajectory, the regression-gate comparator
+  behind ``repro bench --compare``, and the span-diff attribution
+  engine behind ``repro bench --attribute`` (see
+  ``docs/BENCHMARKS.md``);
+* **profile** (:mod:`repro.obs.profile`) — a low-overhead sampling
+  wall-clock profiler with instrumented anchors in the interpreter
+  step loop, the checker, and the inference fixpoint, emitting
+  schema-versioned ``PROFILE_*.json`` payloads (``--profile-json``);
+* **history** (:mod:`repro.obs.history`) — the bench history store:
+  per-scenario trend series over a directory of ``BENCH_*.json`` with
+  a noise-aware changepoint detector (``repro bench trend``);
 * **report** (:mod:`repro.obs.report`) — the deterministic single-file
   HTML dashboard behind ``repro report --html`` (convergence curves,
   shard timeline, event and bench tables).
@@ -42,9 +51,11 @@ from repro.obs.bench import (
     BENCH_SCHEMA,
     BenchError,
     Scenario,
+    attribute_benchmarks,
     bench_payload,
     compare_benchmarks,
     environment_fingerprint,
+    format_attribution,
     read_bench,
     register_scenario,
     run_scenario,
@@ -53,6 +64,31 @@ from repro.obs.bench import (
     scenario_result_from_samples,
     validate_bench,
     write_bench,
+)
+from repro.obs.history import (
+    HistoryWarning,
+    bench_trend,
+    detect_changepoints,
+    env_key,
+    format_trend_table,
+    load_history,
+    trend_series,
+)
+from repro.obs.profile import (
+    PROFILE_SCHEMA,
+    NullProfiler,
+    ProfileError,
+    SamplingProfiler,
+    aggregate_profile,
+    format_profile_table,
+    get_profiler,
+    installed_profiler,
+    profile_payload,
+    read_profile,
+    section_counts,
+    set_profiler,
+    validate_profile,
+    write_profile,
 )
 from repro.obs.events import (
     EVENTS_SCHEMA,
@@ -168,6 +204,29 @@ __all__ = [
     "SNAPSHOT_QUANTILES",
     "BenchError",
     "Scenario",
+    "attribute_benchmarks",
+    "format_attribution",
+    "HistoryWarning",
+    "bench_trend",
+    "detect_changepoints",
+    "env_key",
+    "format_trend_table",
+    "load_history",
+    "trend_series",
+    "PROFILE_SCHEMA",
+    "NullProfiler",
+    "ProfileError",
+    "SamplingProfiler",
+    "aggregate_profile",
+    "format_profile_table",
+    "get_profiler",
+    "installed_profiler",
+    "profile_payload",
+    "read_profile",
+    "section_counts",
+    "set_profiler",
+    "validate_profile",
+    "write_profile",
     "bench_payload",
     "compare_benchmarks",
     "environment_fingerprint",

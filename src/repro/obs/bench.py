@@ -35,10 +35,14 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Optional, Sequence
 
-from repro.obs.trace import get_tracer
+from repro.obs.trace import Tracer, get_tracer, installed_tracer
 
 #: Bump when the BENCH_*.json payload layout changes.
 BENCH_SCHEMA = 1
+
+#: Span names the per-scenario span table excludes: the bench harness's
+#: own structural spans, which would otherwise dominate every table.
+_HARNESS_SPANS = ("warmup", "repetition")
 
 #: Scenario kinds (the ``kind`` field of a scenario result).
 KIND_CHECK = "check"
@@ -322,16 +326,19 @@ def scenario_result_from_samples(
     *,
     counters: Optional[dict] = None,
     warmup: int = 0,
+    spans: Optional[Sequence[dict]] = None,
 ) -> dict:
     """A scenario result from externally measured samples — how the
     paper-figure suites under ``benchmarks/`` feed their
-    pytest-benchmark timings into the same JSON schema."""
+    pytest-benchmark timings into the same JSON schema.  ``spans`` is an
+    optional per-span self-time table (see :func:`run_scenario` with
+    ``span_table=True``) ready for :func:`attribute_benchmarks`."""
     if kind not in KINDS:
         raise BenchError(f"unknown scenario kind {kind!r}")
     samples = [float(s) for s in samples]
     if not samples:
         raise BenchError(f"scenario {name!r}: no samples")
-    return {
+    result = {
         "name": name,
         "kind": kind,
         "warmup": warmup,
@@ -342,6 +349,30 @@ def scenario_result_from_samples(
         },
         **_stats(samples),
     }
+    if spans is not None:
+        result["spans"] = list(spans)
+    return result
+
+
+def _span_table(events: Sequence[dict], scenario_name: str) -> list[dict]:
+    """Fold collected span events into the scenario's span table:
+    per-name occurrence count plus summed self/wall seconds, the bench
+    harness's own spans (``warmup``/``repetition``/``bench.<name>``)
+    excluded so measured work, not harness structure, tops the table."""
+    from repro.obs.sinks import aggregate_trace
+
+    rows = []
+    for row in aggregate_trace(events):
+        name = row["name"]
+        if name in _HARNESS_SPANS or name == f"bench.{scenario_name}":
+            continue
+        rows.append({
+            "name": name,
+            "count": row["count"],
+            "self_seconds": row["self_seconds"],
+            "wall_seconds": row["wall_seconds"],
+        })
+    return rows
 
 
 def run_scenario(
@@ -350,32 +381,68 @@ def run_scenario(
     warmup: int = 1,
     repetitions: int = 5,
     clock: Callable[[], float] = time.perf_counter,
+    span_table: bool = False,
 ) -> dict:
     """Build and time one scenario: ``warmup`` untimed runs, then
     ``repetitions`` timed ones.  The whole scenario runs under a root
     ``bench.<name>`` span (one ``repetition`` child per timed run), so
-    ``--trace`` shows exactly what was measured."""
+    ``--trace`` shows exactly what was measured.
+
+    With ``span_table=True`` the timed repetitions are additionally
+    tapped with a :class:`~repro.obs.sinks.CollectingSink` and the
+    result grows a ``spans`` table — per-span-name occurrence counts
+    and summed self/wall seconds, the raw material
+    :func:`attribute_benchmarks` joins across two payloads.  If no real
+    tracer is installed a local one is, scoped to this scenario, so
+    ``--attribute`` payloads don't require ``--trace``.
+    """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if repetitions < 1:
         raise BenchError("repetitions must be >= 1")
-    tracer = get_tracer()
-    samples: list[float] = []
-    counters: dict = {}
-    with tracer.span(f"bench.{scenario.name}", kind=scenario.kind) as root:
-        op = scenario.build()
-        for _ in range(max(0, warmup)):
-            with tracer.span("warmup"):
-                op()
-        for index in range(repetitions):
-            with tracer.span("repetition", index=index):
-                start = clock()
-                returned = op()
-                samples.append(clock() - start)
-            if returned:
-                counters = {k: float(v) for k, v in sorted(returned.items())}
-        root.count("repetitions", repetitions)
-    return {
+    from contextlib import ExitStack
+
+    from repro.obs.sinks import CollectingSink
+
+    sink: Optional[CollectingSink] = None
+    with ExitStack() as stack:
+        tracer = get_tracer()
+        if span_table:
+            sink = CollectingSink()
+            sink.enabled = False
+            if isinstance(tracer, Tracer):
+                tracer.add_sink(sink)
+                stack.callback(tracer.remove_sink, sink)
+            else:
+                tracer = stack.enter_context(
+                    installed_tracer(Tracer(sinks=(sink,)))
+                )
+        samples: list[float] = []
+        counters: dict = {}
+        with tracer.span(
+            f"bench.{scenario.name}", kind=scenario.kind
+        ) as root:
+            op = scenario.build()
+            for _ in range(max(0, warmup)):
+                with tracer.span("warmup"):
+                    op()
+            if sink is not None:
+                sink.enabled = True
+            for index in range(repetitions):
+                with tracer.span("repetition", index=index):
+                    start = clock()
+                    returned = op()
+                    samples.append(clock() - start)
+                if returned:
+                    counters = {
+                        k: float(v) for k, v in sorted(returned.items())
+                    }
+            if sink is not None:
+                # Stop collecting before the root closes so the bench.*
+                # span never reaches the table even via other sinks.
+                sink.enabled = False
+            root.count("repetitions", repetitions)
+    result = {
         "name": scenario.name,
         "kind": scenario.kind,
         "warmup": max(0, warmup),
@@ -384,6 +451,9 @@ def run_scenario(
         "counters": counters,
         **_stats(samples),
     }
+    if sink is not None:
+        result["spans"] = _span_table(sink.events, scenario.name)
+    return result
 
 
 def run_scenarios(
@@ -393,6 +463,7 @@ def run_scenarios(
     repetitions: int = 5,
     clock: Callable[[], float] = time.perf_counter,
     progress: Optional[Callable[[str], None]] = None,
+    span_table: bool = False,
 ) -> list[dict]:
     """Run every scenario in order; results keep the given order."""
     results: list[dict] = []
@@ -402,7 +473,8 @@ def run_scenarios(
             progress(f"bench: {name}")
         results.append(
             run_scenario(
-                scenario, warmup=warmup, repetitions=repetitions, clock=clock
+                scenario, warmup=warmup, repetitions=repetitions,
+                clock=clock, span_table=span_table,
             )
         )
     return results
@@ -536,6 +608,29 @@ def validate_bench(payload: dict) -> dict:
                 raise BenchError(f"scenario {name!r}: {key} must be a number")
         if not isinstance(entry.get("counters"), dict):
             raise BenchError(f"scenario {name!r}: counters must be an object")
+        spans = entry.get("spans")
+        if spans is not None:
+            # Optional, additive: payloads without span tables stay valid.
+            if not isinstance(spans, list):
+                raise BenchError(f"scenario {name!r}: spans must be a list")
+            for span in spans:
+                if not isinstance(span, dict) or not isinstance(
+                    span.get("name"), str
+                ):
+                    raise BenchError(
+                        f"scenario {name!r}: each span row needs a name"
+                    )
+                if not isinstance(span.get("count"), int):
+                    raise BenchError(
+                        f"scenario {name!r}: span "
+                        f"{span.get('name')!r}: count must be an int"
+                    )
+                for key in ("self_seconds", "wall_seconds"):
+                    if not isinstance(span.get(key), (int, float)):
+                        raise BenchError(
+                            f"scenario {name!r}: span {span['name']!r}: "
+                            f"{key} must be a number"
+                        )
     return payload
 
 
@@ -654,6 +749,144 @@ def compare_benchmarks(
 
 
 # ---------------------------------------------------------------------------
+# Span-diff attribution
+# ---------------------------------------------------------------------------
+
+
+def attribute_benchmarks(
+    old: dict, new: dict, *, threshold_pct: float = 10.0
+) -> dict:
+    """Attribute each scenario's median shift to the spans that moved.
+
+    Joins two bench payloads carrying per-scenario ``spans`` tables
+    (``repro bench --spans``, or :func:`run_scenario` with
+    ``span_table=True``).  Span self times are normalized to
+    per-repetition seconds before differencing, so payloads measured
+    with different repetition counts still compare.  A span's shift is
+    kept only when its magnitude exceeds the scenario's combined sample
+    noise (``stddev_old + stddev_new`` — the ``--compare`` envelope);
+    surviving spans are ranked by absolute shift, largest first, with
+    ties broken by name, so the output is deterministic.  This ranking
+    is the evidence the ROADMAP's 10x backend claim will be judged by.
+    """
+    comparison = compare_benchmarks(old, new, threshold_pct=threshold_pct)
+    status_by = {row["name"]: row for row in comparison["rows"]}
+    old_by = {s["name"]: s for s in old["scenarios"]}
+    new_by = {s["name"]: s for s in new["scenarios"]}
+    scenarios: list[dict] = []
+    unattributed: list[str] = []
+    for name in sorted(set(old_by) & set(new_by)):
+        old_s, new_s = old_by[name], new_by[name]
+        if old_s.get("spans") is None or new_s.get("spans") is None:
+            unattributed.append(name)
+            continue
+        old_reps = max(1, int(old_s["repetitions"]))
+        new_reps = max(1, int(new_s["repetitions"]))
+        old_self = {
+            row["name"]: float(row["self_seconds"]) / old_reps
+            for row in old_s["spans"]
+        }
+        new_self = {
+            row["name"]: float(row["self_seconds"]) / new_reps
+            for row in new_s["spans"]
+        }
+        noise = float(old_s["stddev_seconds"]) + float(
+            new_s["stddev_seconds"]
+        )
+        delta_median = float(new_s["median_seconds"]) - float(
+            old_s["median_seconds"]
+        )
+        rows: list[dict] = []
+        excluded = 0
+        for span_name in sorted(set(old_self) | set(new_self)):
+            old_sec = old_self.get(span_name, 0.0)
+            new_sec = new_self.get(span_name, 0.0)
+            delta = new_sec - old_sec
+            # Floor the envelope at 1ns/rep: a zero-stddev payload pair
+            # must not attribute float rounding residue as a shift.
+            if abs(delta) <= max(noise, 1e-9):
+                excluded += 1
+                continue
+            rows.append({
+                "name": span_name,
+                "old_self_seconds": old_sec,
+                "new_self_seconds": new_sec,
+                "delta_seconds": delta,
+                "share_pct": (
+                    delta / delta_median * 100.0 if delta_median != 0 else None
+                ),
+            })
+        rows.sort(key=lambda r: (-abs(r["delta_seconds"]), r["name"]))
+        scenarios.append({
+            "name": name,
+            "status": status_by[name]["status"],
+            "old_median_seconds": float(old_s["median_seconds"]),
+            "new_median_seconds": float(new_s["median_seconds"]),
+            "delta_seconds": delta_median,
+            "delta_pct": status_by[name]["delta_pct"],
+            "noise_seconds": noise,
+            "spans": rows,
+            "excluded_within_noise": excluded,
+        })
+    return {
+        "threshold_pct": float(threshold_pct),
+        "scenarios": scenarios,
+        "unattributed": unattributed,
+        "missing": comparison["missing"],
+        "added": comparison["added"],
+    }
+
+
+def format_attribution(attribution: dict) -> str:
+    """Human rendering of one attribution document, deterministic."""
+    lines: list[str] = []
+    for scenario in attribution["scenarios"]:
+        delta = (
+            f"{scenario['delta_pct']:+.1f}%"
+            if scenario["delta_pct"] is not None else "n/a"
+        )
+        lines.append(
+            f"{scenario['name']}: {_ms(scenario['old_median_seconds']).strip()}"
+            f" -> {_ms(scenario['new_median_seconds']).strip()} ms "
+            f"({delta}, {scenario['status']})"
+        )
+        if not scenario["spans"]:
+            lines.append(
+                "  (no span shifted beyond the noise envelope; "
+                f"{scenario['excluded_within_noise']} within noise)"
+            )
+            continue
+        width = max(len(row["name"]) for row in scenario["spans"])
+        for rank, row in enumerate(scenario["spans"], start=1):
+            share = (
+                f"{row['share_pct']:+6.1f}% of shift"
+                if row["share_pct"] is not None else "   n/a"
+            )
+            lines.append(
+                f"  #{rank} {row['name']:<{width}} "
+                f"{row['old_self_seconds'] * 1000.0:9.2f} -> "
+                f"{row['new_self_seconds'] * 1000.0:9.2f} ms/rep "
+                f"({row['delta_seconds'] * 1000.0:+9.2f})  {share}"
+            )
+        if scenario["excluded_within_noise"]:
+            lines.append(
+                f"  ({scenario['excluded_within_noise']} span(s) within "
+                f"the ±{scenario['noise_seconds'] * 1000.0:.2f} ms noise "
+                f"envelope excluded)"
+            )
+    for label, names in (
+        ("no span table (rerun with --spans)", attribution["unattributed"]),
+        ("missing from new run", attribution["missing"]),
+        ("added in new run", attribution["added"]),
+    ):
+        if names:
+            lines.append(f"// {label}: {', '.join(names)}")
+    if not attribution["scenarios"]:
+        lines.append("// no scenario carried span tables in both payloads")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
 # Rendering
 # ---------------------------------------------------------------------------
 
@@ -712,4 +945,14 @@ def format_comparison(comparison: dict) -> str:
         f"{len(comparison['missing'])} missing, "
         f"{len(comparison['added'])} added"
     )
+    # Name the symmetric difference outright — "1 missing" alone sends
+    # the reader diffing two JSON files to learn which scenario vanished.
+    if comparison["missing"]:
+        lines.append(
+            f"// missing from new run: {', '.join(comparison['missing'])}"
+        )
+    if comparison["added"]:
+        lines.append(
+            f"// added in new run: {', '.join(comparison['added'])}"
+        )
     return "\n".join(lines)

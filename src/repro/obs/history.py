@@ -1,0 +1,290 @@
+"""Bench history store: the longitudinal perf trajectory.
+
+``repro bench`` writes one ``BENCH_<UTCSTAMP>.json`` per run;
+``--compare`` gates one *pair* of runs.  This module aggregates a whole
+directory of payloads (``benchmarks/history/`` in this repo, appended
+by the CI bench-smoke job) into per-scenario trend series and runs a
+noise-aware changepoint detector over them — the evidence record for
+"did that backend actually get 10x faster, and when did it regress".
+
+Series are keyed by ``(scenario, environment)``: payloads measured on a
+different interpreter/platform/machine are a different series, never
+mixed into one line (:func:`env_key` fingerprints everything except the
+git sha, which is what *varies along* a series).
+
+The changepoint rule reuses the ``--compare`` stddev envelope: within a
+segment, each new point is compared against the segment's median of
+medians; a shift is a changepoint only when it exceeds the noise
+envelope (segment median stddev + the point's own stddev) *and* the
+percentage threshold.  A changepoint starts a new segment, so a step
+change is reported once, not on every subsequent point.
+
+Ingestion is robust by design: a crash-torn, wrong-schema, or
+non-bench JSON file in the history directory is *skipped* with a
+``bench.history.skipped`` warn event and a :class:`HistoryWarning`
+instead of aborting the whole trend — the same tolerance the JSONL
+readers give a truncated final line.
+
+Rendered as a table by ``repro bench trend`` and as sparkline panels in
+``repro report --html`` (see :mod:`repro.obs.report`); documented in
+``docs/BENCHMARKS.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import statistics
+import warnings
+from pathlib import Path
+from typing import Sequence
+
+from repro.obs.bench import (
+    BenchError,
+    IMPROVEMENT,
+    REGRESSION,
+    read_bench,
+)
+from repro.obs.events import get_event_log
+
+#: Unicode sparkline ramp for the text trend table.
+SPARK_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: Fingerprint keys that define a series' environment — everything
+#: except ``git_sha``, which is the axis a series varies along.
+ENV_KEYS = ("python", "implementation", "platform", "machine", "cpu_count")
+
+
+class HistoryWarning(UserWarning):
+    """A file in the bench history directory was skipped (torn JSON,
+    wrong schema, not a bench payload) — reported, never fatal."""
+
+
+def env_key(fingerprint: dict) -> str:
+    """A short stable digest of the measurement environment, used to
+    split trend series so cross-machine payloads never mix."""
+    material = json.dumps(
+        {key: fingerprint.get(key) for key in ENV_KEYS}, sort_keys=True
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# Ingestion
+# ---------------------------------------------------------------------------
+
+
+def load_history(
+    directory: str | Path, *, pattern: str = "*.json"
+) -> tuple[list[tuple[str, dict]], list[dict]]:
+    """Read every bench payload under ``directory``.
+
+    Returns ``(payloads, skipped)``: ``payloads`` is a list of
+    ``(filename, payload)`` pairs in trend order (``created_utc``, then
+    filename, so two runs in the same second still order
+    deterministically); ``skipped`` records each unreadable file with
+    its reason.  Skips are surfaced as a warn-level
+    ``bench.history.skipped`` event and a :class:`HistoryWarning` —
+    one torn file must not take down the whole trajectory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise BenchError(f"{directory}: not a directory")
+    payloads: list[tuple[str, dict]] = []
+    skipped: list[dict] = []
+    for path in sorted(directory.glob(pattern)):
+        if not path.is_file():
+            continue
+        try:
+            payloads.append((path.name, read_bench(path)))
+        except (BenchError, OSError, UnicodeDecodeError) as exc:
+            reason = str(exc)
+            skipped.append({"file": path.name, "reason": reason})
+            get_event_log().emit(
+                "bench.history.skipped",
+                "unreadable bench payload skipped",
+                level="warn",
+                file=path.name,
+                reason=reason,
+            )
+            warnings.warn(
+                f"{path}: skipping unreadable bench payload: {reason}",
+                HistoryWarning,
+                stacklevel=2,
+            )
+    payloads.sort(key=lambda item: (item[1]["created_utc"], item[0]))
+    return payloads, skipped
+
+
+# ---------------------------------------------------------------------------
+# Trend series and changepoints
+# ---------------------------------------------------------------------------
+
+
+def trend_series(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
+    """Fold payloads into per-``(scenario, environment)`` series, each a
+    chronological list of points.  Series come back sorted by scenario
+    name then environment key — deterministic for identical inputs."""
+    series: dict[tuple[str, str], dict] = {}
+    for filename, payload in payloads:
+        fingerprint = payload["fingerprint"]
+        key_env = env_key(fingerprint)
+        for scenario in payload["scenarios"]:
+            key = (scenario["name"], key_env)
+            entry = series.setdefault(
+                key,
+                {
+                    "scenario": scenario["name"],
+                    "kind": scenario["kind"],
+                    "env": key_env,
+                    "points": [],
+                },
+            )
+            entry["points"].append({
+                "file": filename,
+                "created_utc": payload["created_utc"],
+                "git_sha": fingerprint.get("git_sha"),
+                "median_seconds": float(scenario["median_seconds"]),
+                "stddev_seconds": float(scenario["stddev_seconds"]),
+                "repetitions": int(scenario["repetitions"]),
+            })
+    return [series[key] for key in sorted(series)]
+
+
+def detect_changepoints(
+    points: Sequence[dict], *, threshold_pct: float = 10.0
+) -> list[dict]:
+    """Changepoints in one chronological point series.
+
+    Segment-based: each point is judged against the *current segment*
+    (every point since the last changepoint) — shift beyond the noise
+    envelope (median segment stddev + the point's stddev, the
+    ``--compare`` rule) **and** beyond ``threshold_pct`` of the segment
+    median.  A detected changepoint starts a new segment at that point.
+    """
+    if threshold_pct < 0:
+        raise BenchError("threshold_pct must be >= 0")
+    changepoints: list[dict] = []
+    segment_start = 0
+    for index in range(1, len(points)):
+        segment = points[segment_start:index]
+        base_median = statistics.median(
+            p["median_seconds"] for p in segment
+        )
+        base_noise = statistics.median(
+            p["stddev_seconds"] for p in segment
+        )
+        point = points[index]
+        delta = point["median_seconds"] - base_median
+        noise = base_noise + point["stddev_seconds"]
+        if base_median <= 0:
+            continue
+        delta_pct = delta / base_median * 100.0
+        if abs(delta) > noise and abs(delta_pct) > threshold_pct:
+            changepoints.append({
+                "index": index,
+                "file": point["file"],
+                "created_utc": point["created_utc"],
+                "git_sha": point.get("git_sha"),
+                "direction": REGRESSION if delta > 0 else IMPROVEMENT,
+                "delta_pct": delta_pct,
+                "baseline_median_seconds": base_median,
+                "median_seconds": point["median_seconds"],
+                "noise_seconds": noise,
+            })
+            segment_start = index
+    return changepoints
+
+
+def bench_trend(
+    directory: str | Path,
+    *,
+    threshold_pct: float = 10.0,
+    pattern: str = "*.json",
+) -> dict:
+    """The full trend document over a history directory: every series
+    with its changepoints, plus the skip record."""
+    payloads, skipped = load_history(directory, pattern=pattern)
+    series = trend_series(payloads)
+    for entry in series:
+        points = entry["points"]
+        entry["changepoints"] = detect_changepoints(
+            points, threshold_pct=threshold_pct
+        )
+        first = points[0]["median_seconds"]
+        last = points[-1]["median_seconds"]
+        entry["net_delta_pct"] = (
+            (last - first) / first * 100.0 if first > 0 else None
+        )
+    return {
+        "threshold_pct": float(threshold_pct),
+        "payloads": len(payloads),
+        "files": [filename for filename, _ in payloads],
+        "skipped": skipped,
+        "series": series,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """A fixed-alphabet unicode sparkline: min→``▁``, max→``█``; a flat
+    series renders mid-ramp so it reads as "no movement"."""
+    if not values:
+        return ""
+    low, high = min(values), max(values)
+    if high <= low:
+        return SPARK_BLOCKS[3] * len(values)
+    span = high - low
+    top = len(SPARK_BLOCKS) - 1
+    return "".join(
+        SPARK_BLOCKS[round((value - low) / span * top)] for value in values
+    )
+
+
+def _mark_changepoints(changepoints: list[dict]) -> str:
+    return " ".join(
+        f"i{cp['index']}:{cp['delta_pct']:+.1f}%" for cp in changepoints
+    ) or "-"
+
+
+def format_trend_table(trend: dict) -> str:
+    """Deterministic text rendering of one trend document: one row per
+    series with a sparkline of medians and its changepoints marked."""
+    series = trend["series"]
+    if not series:
+        return "// no bench payloads in the history directory"
+    width = max([len("scenario")] + [len(s["scenario"]) for s in series])
+    lines = [
+        f"{'scenario':<{width}} {'env':<12} {'n':>3} {'first ms':>9} "
+        f"{'last ms':>9} {'net':>8}  trend       changepoints"
+    ]
+    for entry in series:
+        points = entry["points"]
+        medians = [p["median_seconds"] for p in points]
+        net = entry["net_delta_pct"]
+        net_text = f"{net:+7.1f}%" if net is not None else "       -"
+        lines.append(
+            f"{entry['scenario']:<{width}} {entry['env']:<12} "
+            f"{len(points):3d} {medians[0] * 1000.0:9.2f} "
+            f"{medians[-1] * 1000.0:9.2f} {net_text}  "
+            f"{sparkline(medians):<11} "
+            f"{_mark_changepoints(entry['changepoints'])}"
+        )
+    regressions = sum(
+        1 for s in series for cp in s["changepoints"]
+        if cp["direction"] == REGRESSION
+    )
+    improvements = sum(
+        1 for s in series for cp in s["changepoints"]
+        if cp["direction"] == IMPROVEMENT
+    )
+    lines.append(
+        f"// {trend['payloads']} payload(s), {len(series)} series, "
+        f"threshold ±{trend['threshold_pct']:g}%: {regressions} "
+        f"regression changepoint(s), {improvements} improvement "
+        f"changepoint(s), {len(trend['skipped'])} file(s) skipped"
+    )
+    return "\n".join(lines)

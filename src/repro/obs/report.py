@@ -65,6 +65,9 @@ svg .inject { stroke: #0969da; stroke-dasharray: 2 2; }
 svg .bar { fill: #0969da; }
 svg .bar.infra-failed { fill: #cf222e; }
 svg text { font-size: 9px; fill: #57606a; }
+svg .spark { fill: none; stroke: #0969da; stroke-width: 1.5; }
+svg .changepoint.regression { fill: #cf222e; stroke: none; }
+svg .changepoint.improvement { fill: #1a7f37; stroke: none; }
 """
 
 
@@ -536,6 +539,100 @@ def _bench_section(benches: list[tuple[str, dict]]) -> str:
     )
 
 
+def _spark_figure(entry: dict) -> str:
+    """One perf-trajectory sparkline: the series' medians left to right,
+    scaled to the data range, with a dot on every changepoint (red for a
+    regression step, green for an improvement)."""
+    points = entry["points"]
+    medians = [p["median_seconds"] for p in points]
+    width, height, top = 150.0, 40.0, 5.0
+    low, high = min(medians), max(medians)
+    span = (high - low) or 1.0
+    xs = (
+        [width / 2] if len(medians) == 1
+        else [i * width / (len(medians) - 1) for i in range(len(medians))]
+    )
+
+    def y_of(value: float) -> float:
+        return top + height - (value - low) / span * height
+
+    parts = [f'<line class="axis" x1="0" y1="{top + height:g}" '
+             f'x2="{width:g}" y2="{top + height:g}" />']
+    if len(medians) > 1:
+        coords = " ".join(
+            f"{x:.2f},{y_of(v):.2f}" for x, v in zip(xs, medians)
+        )
+        parts.append(f'<polyline class="spark" points="{coords}" />')
+    for cp in entry["changepoints"]:
+        index = cp["index"]
+        parts.append(
+            f'<circle class="changepoint {cp["direction"]}" '
+            f'cx="{xs[index]:.2f}" cy="{y_of(medians[index]):.2f}" '
+            f'r="2.5" />'
+        )
+    net = entry.get("net_delta_pct")
+    svg = _tag(
+        "svg", "".join(parts),
+        viewBox=f"0 0 {width:g} {height + 2 * top:g}",
+        width="150", height="50",
+        data_scenario=entry["scenario"],
+        data_env=entry["env"],
+        data_points=len(points),
+        data_changepoints=len(entry["changepoints"]),
+    )
+    caption = (
+        f'{_esc(entry["scenario"])} · {len(points)} runs · '
+        f'net {_esc(None if net is None else f"{net:+.1f}%")}'
+    )
+    return _tag(
+        "figure", svg + f"<figcaption>{caption}</figcaption>", **{
+            "class": "curve",
+        }
+    )
+
+
+def _trend_section(trend: dict) -> str:
+    """The perf-trajectory panel: one sparkline per (scenario,
+    environment) series over the bench history directory, changepoints
+    marked, plus a table of every detected changepoint."""
+    series = trend.get("series", [])
+    if not series:
+        return ""
+    sections = [
+        "<h2>Perf trajectory</h2>",
+        f'<p class="note">{trend["payloads"]} bench payload(s); one '
+        "sparkline per scenario and environment, oldest run left.  Dots "
+        "mark changepoints (median shift beyond the noise envelope and "
+        f'±{_fmt(trend["threshold_pct"])}%): red regression, green '
+        "improvement.</p>",
+        _tag("div", "".join(_spark_figure(e) for e in series), **{
+            "class": "curves",
+        }),
+    ]
+    cp_rows = [
+        (entry["scenario"], cp["created_utc"],
+         (cp.get("git_sha") or "")[:12], cp["direction"],
+         cp["delta_pct"], cp["baseline_median_seconds"],
+         cp["median_seconds"])
+        for entry in series
+        for cp in entry["changepoints"]
+    ]
+    if cp_rows:
+        sections.append("<h3>Changepoints</h3>")
+        sections.append(_table(
+            ("scenario", "run", "git sha", "direction", "delta %",
+             "baseline median s", "median s"),
+            cp_rows, name_columns=4,
+        ))
+    if trend.get("skipped"):
+        sections.append(
+            '<p class="note">Skipped unreadable history files: '
+            + ", ".join(_esc(s["file"]) for s in trend["skipped"])
+            + ".</p>"
+        )
+    return "".join(sections)
+
+
 # ---------------------------------------------------------------------------
 # Page assembly
 # ---------------------------------------------------------------------------
@@ -546,6 +643,7 @@ def render_report(
     campaign: Optional[dict] = None,
     events: Optional[list[dict]] = None,
     benches: Optional[list[tuple[str, dict]]] = None,
+    trend: Optional[dict] = None,
     title: str = "Stabilization report",
     generated_at: Optional[str] = None,
 ) -> str:
@@ -583,7 +681,10 @@ def render_report(
         sections.append(_events_section(events))
     if benches:
         sections.append(_bench_section(list(benches)))
-    if campaign is None and not events and not benches:
+    if trend is not None:
+        sections.append(_trend_section(trend))
+    has_trend = bool(trend) and bool(trend.get("series"))
+    if campaign is None and not events and not benches and not has_trend:
         sections.append(
             '<p class="note">Nothing to report: no campaign manifest, '
             "events file, or bench files supplied.</p>"
@@ -604,6 +705,8 @@ def write_report(
     campaign_path=None,
     events_path=None,
     bench_paths: Sequence = (),
+    history_dir=None,
+    trend_threshold: float = 10.0,
     title: str = "Stabilization report",
     generated_at: Optional[str] = None,
 ) -> str:
@@ -620,10 +723,16 @@ def write_report(
         (Path(bench).name, json.loads(Path(bench).read_text(encoding="utf-8")))
         for bench in bench_paths
     ]
+    trend = None
+    if history_dir is not None:
+        from repro.obs.history import bench_trend
+
+        trend = bench_trend(history_dir, threshold_pct=trend_threshold)
     document = render_report(
         campaign=campaign,
         events=events,
         benches=benches,
+        trend=trend,
         title=title,
         generated_at=generated_at,
     )

@@ -55,6 +55,30 @@ class RingBufferSink:
             self._roots.clear()
 
 
+class CollectingSink:
+    """Collects every closed span as a flat :func:`span_event` dict.
+
+    The bench runner's tap: attached to whichever tracer is live for
+    the duration of a scenario (via :meth:`Tracer.add_sink`) to build
+    per-scenario span self-time tables, then detached.  ``enabled``
+    gates collection so the same sink object can stay attached across
+    warmup (off) and timed repetitions (on) without re-plumbing."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self.enabled = True
+        self._lock = threading.Lock()
+
+    def emit(self, span: Span) -> None:
+        if self.enabled:
+            with self._lock:
+                self.events.append(span_event(span))
+
+    def clear(self) -> None:
+        with self._lock:
+            self.events.clear()
+
+
 class JsonlWriter:
     """Appends one JSON object per line; atomic at line granularity.
 

@@ -177,6 +177,18 @@ class Tracer:
         self._next_span_id = 0
         self._next_trace_id = 0
 
+    # -- sinks -----------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Attach ``sink`` (anything with ``emit(span)``) to this live
+        tracer — how the bench runner taps an already-installed tracer
+        for per-scenario span tables without disturbing its streams."""
+        self.sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        """Detach a sink previously added with :meth:`add_sink`."""
+        self.sinks.remove(sink)
+
     # -- span context ----------------------------------------------------
 
     def _stack(self) -> list[Span]:

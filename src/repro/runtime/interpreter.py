@@ -27,6 +27,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.lang import ast
 from repro.obs.events import get_event_log
+from repro.obs.profile import get_profiler
 from repro.lang.symtab import BuiltinCall, MethodCall, ProgramInfo
 from repro.runtime.devices import DeviceBus, InputExhausted, OutputSink
 from repro.runtime.values import (
@@ -273,6 +274,12 @@ class Interpreter:
             raise SJavaRuntimeError(f"unhandled statement {type(stmt).__name__}", stmt)
 
     def _exec_event_loop(self, stmt: ast.While, frame: "_Frame") -> None:
+        with get_profiler().section("interpreter.step"):
+            self._exec_event_loop_body(stmt, frame)
+
+    def _exec_event_loop_body(
+        self, stmt: ast.While, frame: "_Frame"
+    ) -> None:
         begin_device_iteration = getattr(self.device, "begin_iteration", None)
         while self.iteration < self.options.max_iterations:
             self._charge()

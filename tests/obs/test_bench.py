@@ -21,9 +21,12 @@ from repro.obs.bench import (
     BENCH_SCHEMA,
     BenchError,
     Scenario,
+    attribute_benchmarks,
     bench_payload,
     compare_benchmarks,
     dumps_bench,
+    format_attribution,
+    format_comparison,
     get_scenario,
     read_bench,
     run_scenario,
@@ -377,3 +380,325 @@ class TestBenchCli:
 
     def test_against_requires_compare(self, capsys):
         assert main(["bench", "--against", "x.json"]) == 2
+
+
+def _spans(rows: dict[str, float], count: int = 3) -> list[dict]:
+    """Span-table rows from name -> summed self seconds."""
+    return [
+        {"name": name, "count": count, "self_seconds": seconds,
+         "wall_seconds": seconds}
+        for name, seconds in sorted(rows.items())
+    ]
+
+
+class TestSpanTables:
+    def _spanning_scenario(self) -> Scenario:
+        from repro.obs import get_tracer
+
+        def build():
+            def op():
+                tracer = get_tracer()
+                with tracer.span("parse"):
+                    pass
+                with tracer.span("flow_check"):
+                    pass
+                return {"ops": 2}
+            return op
+
+        return Scenario("check/spanning", "check", ("small",), build)
+
+    def test_run_scenario_collects_span_table(self):
+        """span_table=True taps the repetitions with a local tracer —
+        no --trace required — and excludes the harness's own spans."""
+        result = run_scenario(
+            self._spanning_scenario(),
+            warmup=2,
+            repetitions=3,
+            clock=_counting_clock(0.25),
+            span_table=True,
+        )
+        names = {row["name"] for row in result["spans"]}
+        assert names == {"parse", "flow_check"}
+        by_name = {row["name"]: row for row in result["spans"]}
+        # warmup runs are not collected: 3 timed repetitions only
+        assert by_name["parse"]["count"] == 3
+        validate_bench(_payload([result]))
+
+    def test_span_table_composes_with_installed_tracer(self, tmp_path):
+        """With a real tracer installed the sink taps it without
+        stealing its other sinks' events."""
+        trace = tmp_path / "trace.jsonl"
+        with JsonlTraceWriter(trace) as writer:
+            with installed_tracer(Tracer(sinks=(writer,))):
+                result = run_scenario(
+                    self._spanning_scenario(),
+                    warmup=1,
+                    repetitions=2,
+                    clock=_counting_clock(0.25),
+                    span_table=True,
+                )
+        assert {r["name"] for r in result["spans"]} == {
+            "parse", "flow_check",
+        }
+        # the trace file still has the full structure, warmups included
+        names = [e["name"] for e in read_trace(trace)]
+        assert "bench.check/spanning" in names
+        assert "warmup" in names
+
+    def test_validate_bench_rejects_malformed_spans(self):
+        base = _result("check/toy", [1.0], warmup=0)
+        bad_rows = _payload([dict(base, spans="nope")])
+        with pytest.raises(BenchError, match="spans must be a list"):
+            validate_bench(bad_rows)
+        bad_name = _payload([dict(base, spans=[{"count": 1}])])
+        with pytest.raises(BenchError, match="needs a name"):
+            validate_bench(bad_name)
+        bad_count = _payload([dict(base, spans=[
+            {"name": "parse", "count": 1.5, "self_seconds": 0.1,
+             "wall_seconds": 0.1},
+        ])])
+        with pytest.raises(BenchError, match="count must be an int"):
+            validate_bench(bad_count)
+        bad_seconds = _payload([dict(base, spans=[
+            {"name": "parse", "count": 1, "self_seconds": "x",
+             "wall_seconds": 0.1},
+        ])])
+        with pytest.raises(BenchError, match="self_seconds must be a number"):
+            validate_bench(bad_seconds)
+
+
+class TestAttribution:
+    """The synthetic two-payload fixture from the issue: one span
+    regresses beyond the noise envelope, one drifts within it."""
+
+    def _old(self):
+        return _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [1.0, 1.0, 1.0],
+                counters={"ops": 2}, warmup=1,
+                spans=_spans({
+                    "parse": 0.3, "flow_check": 0.6, "typecheck": 1.5,
+                }),
+            ),
+        ])
+
+    def _new(self):
+        # median 1.6s, stddev exactly 0.1 -> noise envelope 0.1s/rep
+        return _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [1.5, 1.6, 1.7],
+                counters={"ops": 2}, warmup=1,
+                spans=_spans({
+                    # typecheck +0.5s/rep: the injected regression
+                    "typecheck": 3.0,
+                    # flow_check +0.05s/rep: inside the noise envelope
+                    "flow_check": 0.75,
+                    "parse": 0.3,
+                }),
+            ),
+        ])
+
+    def test_regressed_span_ranked_first(self):
+        attribution = attribute_benchmarks(self._old(), self._new())
+        (scenario,) = attribution["scenarios"]
+        assert scenario["status"] == "regression"
+        assert scenario["delta_seconds"] == pytest.approx(0.6)
+        assert scenario["noise_seconds"] == pytest.approx(0.1)
+        (top,) = scenario["spans"]
+        assert top["name"] == "typecheck"
+        assert top["delta_seconds"] == pytest.approx(0.5)
+        assert top["share_pct"] == pytest.approx(83.33, abs=0.01)
+        # parse (no shift) and flow_check (+0.05 <= 0.1) are excluded
+        assert scenario["excluded_within_noise"] == 2
+
+    def test_attribution_is_deterministic(self):
+        first = attribute_benchmarks(self._old(), self._new())
+        second = attribute_benchmarks(self._old(), self._new())
+        assert first == second
+        assert format_attribution(first) == format_attribution(second)
+
+    def test_normalizes_across_repetition_counts(self):
+        """Self times are per-repetition before differencing, so a
+        2-rep payload joins a 3-rep one without phantom shifts."""
+        new = _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [1.0, 1.0],
+                counters={"ops": 2}, warmup=1,
+                # same per-rep spans as _old, summed over 2 reps
+                spans=_spans({
+                    "parse": 0.2, "flow_check": 0.4, "typecheck": 1.0,
+                }, count=2),
+            ),
+        ])
+        attribution = attribute_benchmarks(self._old(), new)
+        (scenario,) = attribution["scenarios"]
+        assert scenario["spans"] == []
+        assert scenario["excluded_within_noise"] == 3
+
+    def test_missing_span_table_lists_scenario_unattributed(self):
+        old = self._old()
+        new = _payload([_result("check/toy", [1.0, 1.0, 1.0])])
+        attribution = attribute_benchmarks(old, new)
+        assert attribution["scenarios"] == []
+        assert attribution["unattributed"] == ["check/toy"]
+        rendered = format_attribution(attribution)
+        assert "rerun with --spans" in rendered
+        assert "no scenario carried span tables" in rendered
+
+    def test_tie_break_by_name(self):
+        old = _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [1.0, 1.0, 1.0],
+                counters={}, warmup=0,
+                spans=_spans({"beta": 0.3, "alpha": 0.3}),
+            ),
+        ])
+        new = _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [2.0, 2.0, 2.0],
+                counters={}, warmup=0,
+                spans=_spans({"beta": 1.8, "alpha": 1.8}),
+            ),
+        ])
+        attribution = attribute_benchmarks(old, new)
+        (scenario,) = attribution["scenarios"]
+        assert [r["name"] for r in scenario["spans"]] == ["alpha", "beta"]
+
+    def test_format_ranks_and_labels(self):
+        rendered = format_attribution(
+            attribute_benchmarks(self._old(), self._new())
+        )
+        assert "check/toy: 1000.00 -> 1600.00 ms (+60.0%, regression)" \
+            in rendered
+        assert "#1 typecheck" in rendered
+        assert "2 span(s) within" in rendered
+
+
+class TestCompareSymmetricDifference:
+    def test_missing_and_added_named_in_rendering(self):
+        old = _payload([
+            _result("check/toy", [1.0]), _result("check/gone", [1.0]),
+        ])
+        new = _payload([
+            _result("check/toy", [1.0]), _result("check/new", [1.0]),
+        ])
+        comparison = compare_benchmarks(old, new)
+        assert comparison["missing"] == ["check/gone"]
+        assert comparison["added"] == ["check/new"]
+        rendered = format_comparison(comparison)
+        assert "// missing from new run: check/gone" in rendered
+        assert "// added in new run: check/new" in rendered
+
+    def test_compare_cli_error_names_missing_scenarios(
+        self, tmp_path, capsys
+    ):
+        old = write_bench(
+            _payload([
+                _result("check/toy", [1.0]),
+                _result("check/gone", [1.0]),
+            ]),
+            tmp_path / "old.json",
+        )
+        new = write_bench(
+            _payload([_result("check/toy", [1.0])]),
+            tmp_path / "new.json",
+        )
+        assert main([
+            "bench", "--compare", str(old), "--against", str(new),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "// missing from new run: check/gone" in captured.out
+        assert (
+            "error: scenario(s) missing from the new run: check/gone"
+            in captured.err
+        )
+
+    def test_compare_json_envelope_carries_symmetric_difference(
+        self, tmp_path, capsys
+    ):
+        old = write_bench(
+            _payload([
+                _result("check/toy", [1.0]),
+                _result("check/gone", [1.0]),
+            ]),
+            tmp_path / "old.json",
+        )
+        new = write_bench(
+            _payload([
+                _result("check/toy", [1.0]),
+                _result("check/new", [1.0]),
+            ]),
+            tmp_path / "new.json",
+        )
+        assert main([
+            "bench", "--compare", str(old), "--against", str(new),
+            "--json",
+        ]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == protocol.PROTOCOL_VERSION
+        assert document["kind"] == "bench-compare"
+        assert document["missing"] == ["check/gone"]
+        assert document["added"] == ["check/new"]
+
+
+class TestAttributionCli:
+    def _fixture_paths(self, tmp_path):
+        old = _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [1.0, 1.0, 1.0],
+                counters={"ops": 2}, warmup=1,
+                spans=_spans({
+                    "parse": 0.3, "flow_check": 0.6, "typecheck": 1.5,
+                }),
+            ),
+        ])
+        new = _payload([
+            scenario_result_from_samples(
+                "check/toy", "check", [1.5, 1.6, 1.7],
+                counters={"ops": 2}, warmup=1,
+                spans=_spans({
+                    "typecheck": 3.0, "flow_check": 0.75, "parse": 0.3,
+                }),
+            ),
+        ])
+        return (
+            write_bench(old, tmp_path / "old.json"),
+            write_bench(new, tmp_path / "new.json"),
+        )
+
+    def test_attribute_ranks_injected_regression_first(
+        self, tmp_path, capsys
+    ):
+        old, new = self._fixture_paths(tmp_path)
+        assert main([
+            "bench", "--attribute", str(old), str(new),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "#1 typecheck" in out
+        assert "regression" in out
+
+    def test_attribute_json_envelope(self, tmp_path, capsys):
+        old, new = self._fixture_paths(tmp_path)
+        assert main([
+            "bench", "--attribute", str(old), str(new), "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == protocol.PROTOCOL_VERSION
+        assert document["kind"] == "bench-attribution"
+        (scenario,) = document["scenarios"]
+        assert scenario["spans"][0]["name"] == "typecheck"
+
+    def test_bench_spans_flag_records_span_tables(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "2", "--warmup", "0",
+            "--output", str(out), "--spans",
+        ]) == 0
+        payload = read_bench(out)
+        (scenario,) = payload["scenarios"]
+        spans = scenario["spans"]
+        assert spans, "expected a span table from --spans"
+        names = {row["name"] for row in spans}
+        assert "check" in names
+        assert not names & {"warmup", "repetition", "bench.check/wind_sensor"}
