@@ -79,6 +79,7 @@ from repro.obs import (
     JsonlEventWriter,
     JsonlTraceWriter,
     LoggingBridge,
+    ProfileError,
     RingBufferSink,
     TraceError,
     Tracer,
@@ -180,7 +181,9 @@ def _profiled(args: argparse.Namespace):
         write_profile,
     )
 
-    interval = getattr(args, "profile_interval", None) or DEFAULT_INTERVAL
+    interval = getattr(args, "profile_interval", None)
+    if interval is None:
+        interval = DEFAULT_INTERVAL
     profiler = SamplingProfiler(interval_seconds=interval)
     try:
         with installed_profiler(profiler):
@@ -1505,6 +1508,9 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.func(args)
     except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ProfileError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except (LexError, ParseError, ResolveError, JavaTypeError) as exc:

@@ -47,7 +47,7 @@ PROFILE_SCHEMA = 1
 #: Default seconds between stack samples (~200 Hz).
 DEFAULT_INTERVAL = 0.005
 
-#: Frames deeper than this are truncated (root-most frames win).
+#: Stacks deeper than this are truncated (leaf-most frames win).
 MAX_STACK_DEPTH = 64
 
 
@@ -57,7 +57,10 @@ class ProfileError(ValueError):
 
 def _stack_of(frame, max_depth: int = MAX_STACK_DEPTH) -> tuple[str, ...]:
     """The call stack of ``frame`` as ``module.function`` strings,
-    root-most first (flamegraph order), truncated at ``max_depth``."""
+    root-most first (flamegraph order).  The walk starts at the leaf
+    and follows ``f_back``, so stacks deeper than ``max_depth`` keep
+    the leaf-most frames and drop the roots — the right bias for
+    self-time aggregation."""
     names: list[str] = []
     while frame is not None and len(names) < max_depth:
         code = frame.f_code
@@ -144,7 +147,13 @@ class SamplingProfiler:
             if frame is None:
                 continue
             sections = self._sections.get(tid)
-            section = sections[-1] if sections else None
+            try:
+                # The profiled thread pushes/pops its section stack
+                # without the lock (hot path); the pop can land between
+                # the truthiness check and the index.
+                section = sections[-1] if sections else None
+            except IndexError:
+                section = None
             key = (section, _stack_of(frame, self.max_depth))
             with self._lock:
                 self._samples[key] = self._samples.get(key, 0) + 1

@@ -186,6 +186,28 @@ class TestSampler:
         with pytest.raises(ProfileError, match="interval_seconds"):
             SamplingProfiler(interval_seconds=0)
 
+    def test_sample_survives_concurrent_section_pop(self):
+        """The profiled thread pops its section stack without the lock,
+        so the pop can land between the sampler's truthiness check and
+        the ``[-1]`` read; the sample must come out unattributed rather
+        than raise and kill the sampler thread."""
+
+        class PoppedUnderneath(list):
+            # Truthy like a one-entry stack, but by the time the
+            # sampler indexes it the owning thread has emptied it.
+            def __getitem__(self, index):
+                raise IndexError("pop won the race")
+
+        tid = threading.get_ident()
+        frame = _probe_frame()
+        profiler = self._manual(frames=lambda: {tid: frame})
+        with profiler._lock:
+            profiler._targets.add(tid)
+            profiler._sections[tid] = PoppedUnderneath(["interpreter.step"])
+        assert profiler.sample_now() == 1
+        (sample,) = profiler.samples()
+        assert sample["section"] is None
+
 
 class TestNullProfiler:
     def test_default_profiler_is_null(self):
@@ -327,6 +349,22 @@ class TestProfileCli:
             "--profile-interval", "0.001",
         ]) == 0
         read_profile(out)  # must validate, sampled or not
+
+    @pytest.mark.parametrize("interval", ["0", "-0.5"])
+    def test_non_positive_interval_is_a_clean_cli_error(
+        self, tmp_path, capsys, interval
+    ):
+        """An explicit ``--profile-interval 0`` must be rejected, not
+        silently swapped for the default; negatives get the same clean
+        ``error:`` + exit 2 instead of a traceback."""
+        out = tmp_path / "p.json"
+        assert main([
+            "check", "src/repro/apps/programs/wind_sensor.sj",
+            "--profile-json", str(out),
+            "--profile-interval", interval,
+        ]) == 2
+        assert "error: interval_seconds must be > 0" in capsys.readouterr().err
+        assert not out.exists()
 
     def test_profiler_not_leaked_after_cli(self, tmp_path):
         main([
