@@ -2,8 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-full bench-trend profile-smoke examples \
-        check-apps batch-check clean
+.PHONY: test bench bench-full bench-trend profile-smoke mem-smoke \
+        examples check-apps batch-check clean
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -30,6 +30,24 @@ profile-smoke:
 	print('profile-smoke ok:', p['sample_count'], 'samples')"
 	rm -f PROFILE_smoke.json BENCH_smoke.json
 
+# Memory smoke: the NullResourceMonitor overhead pin plus one tracked
+# scenario with --mem, whose MEM/BENCH payloads must validate
+# (docs/BENCHMARKS.md "Memory telemetry").  Payloads are left on disk
+# so CI can upload them as artifacts.
+mem-smoke:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/obs/test_resources.py -q
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench \
+	  --scenario interpreter-step/wind_sensor --warmup 0 --repetitions 3 \
+	  --mem --mem-json MEM_smoke.json --output BENCH_mem_smoke.json
+	PYTHONPATH=src $(PYTHON) -c "from repro.obs.resources import \
+	read_resources; r = read_resources('MEM_smoke.json'); \
+	print('mem-smoke ok: rss', r['peak_rss_bytes'], 'bytes,', \
+	len(r['sections']), 'section(s)')"
+	PYTHONPATH=src $(PYTHON) -c "from repro.obs.bench import read_bench; \
+	b = read_bench('BENCH_mem_smoke.json'); \
+	assert all('memory' in s for s in b['scenarios']), 'memory missing'; \
+	print('mem-smoke ok: bench memory sections present')"
+
 examples:
 	$(PYTHON) examples/quickstart.py
 	$(PYTHON) examples/catch_a_bug.py
@@ -49,4 +67,5 @@ batch-check:
 
 clean:
 	rm -rf .pytest_cache .hypothesis benchmarks/results
+	rm -f MEM_smoke.json BENCH_mem_smoke.json
 	find . -name __pycache__ -type d -exec rm -rf {} +

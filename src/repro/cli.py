@@ -1009,7 +1009,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
             from repro.obs.history import bench_trend, format_trend_table
 
             trend = bench_trend(
-                args.history, threshold_pct=args.threshold
+                args.history, threshold_pct=args.threshold,
+                scenarios=args.scenario,
             )
             if args.json:
                 print(protocol.dumps({
@@ -1071,15 +1072,35 @@ def cmd_bench(args: argparse.Namespace) -> int:
         names = args.scenario or scenario_names(args.suite)
         for name in names:
             get_scenario(name)  # fail fast on typos, before any timing
-        with _observed(args, "repro.bench", suite=args.suite,
-                       scenarios=len(names)):
-            results = run_scenarios(
-                names,
-                warmup=args.warmup,
-                repetitions=args.repetitions,
-                progress=lambda line: print(f"// {line}", file=sys.stderr),
-                span_table=args.spans,
-            )
+        with_memory = bool(args.mem or args.mem_json)
+        with contextlib.ExitStack() as stack:
+            monitor = None
+            if with_memory:
+                from repro.obs.resources import (
+                    ResourceMonitor,
+                    installed_resource_monitor,
+                    write_resources,
+                )
+
+                # One monitor for the whole run: scenarios share it so
+                # the instrumented anchors (interpreter.step,
+                # checker.check, infer.fixpoint) attribute their
+                # allocations to it, and --mem-json gets a run-wide
+                # payload.  Per-rep peaks still reset per repetition.
+                monitor = stack.enter_context(ResourceMonitor())
+                stack.enter_context(installed_resource_monitor(monitor))
+            with _observed(args, "repro.bench", suite=args.suite,
+                           scenarios=len(names)):
+                results = run_scenarios(
+                    names,
+                    warmup=args.warmup,
+                    repetitions=args.repetitions,
+                    progress=lambda line: print(f"// {line}",
+                                                file=sys.stderr),
+                    span_table=args.spans,
+                    memory=with_memory,
+                    monitor=monitor,
+                )
         payload = bench_payload(
             results,
             suite=None if args.scenario else args.suite,
@@ -1087,6 +1108,9 @@ def cmd_bench(args: argparse.Namespace) -> int:
             repetitions=args.repetitions,
         )
         out_path = write_bench(payload, args.output)
+        if args.mem_json is not None:
+            mem_path = write_resources(monitor.payload(), args.mem_json)
+            print(f"// resources written to {mem_path}", file=sys.stderr)
         if args.json:
             print(protocol.dumps(protocol.bench_payload(payload)))
         else:
@@ -1463,7 +1487,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="scenario suite to run (default: small)")
     bench.add_argument("--scenario", action="append", metavar="NAME",
                        help="run only this scenario (repeatable; overrides "
-                            "--suite)")
+                            "--suite); with 'trend', filter the history to "
+                            "these scenario series")
     bench.add_argument("--list", action="store_true",
                        help="list the suite's scenarios and exit")
     bench.add_argument("--warmup", type=int, default=1,
@@ -1486,6 +1511,14 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--report", metavar="TRACE.jsonl", default=None,
                        help="print a flamegraph-style self-time table for "
                             "an existing JSONL trace instead of running")
+    bench.add_argument("--mem", action="store_true",
+                       help="collect memory telemetry while running: "
+                            "per-rep allocation peaks (tracemalloc), peak "
+                            "RSS, and GC pauses, into each scenario's "
+                            "'memory' section")
+    bench.add_argument("--mem-json", metavar="FILE", default=None,
+                       help="also write the run-wide MEM_*.json resources "
+                            "payload here (implies --mem)")
     bench.add_argument("--json", action="store_true",
                        help="emit the versioned JSON bench payload")
     _add_obs_arguments(bench)

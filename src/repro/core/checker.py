@@ -103,9 +103,12 @@ class SJavaChecker:
 
     def run(self) -> CheckReport:
         from repro.obs.profile import get_profiler
+        from repro.obs.resources import get_resource_monitor
 
         tracer = get_tracer()
-        with get_profiler().section("checker.check"):
+        with get_profiler().section("checker.check"), get_resource_monitor().section(
+            "checker.check"
+        ):
             with tracer.span("check") as span:
                 report = self._run(tracer)
                 span.count("diagnostics", len(report.diagnostics))

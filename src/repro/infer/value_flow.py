@@ -139,9 +139,12 @@ class ValueFlowAnalysis:
         # that may grow (the scope is recursion-free so one pass in
         # topological order already suffices; the second is a safety net).
         from repro.obs.profile import get_profiler
+        from repro.obs.resources import get_resource_monitor
 
         tracer = get_tracer()
-        with get_profiler().section("infer.fixpoint"):
+        with get_profiler().section("infer.fixpoint"), get_resource_monitor().section(
+            "infer.fixpoint"
+        ):
             self._run_rounds(order, tracer)
         return self.graphs
 

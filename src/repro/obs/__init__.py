@@ -32,6 +32,11 @@ Three pieces (see ``docs/OBSERVABILITY.md``):
   wall-clock profiler with instrumented anchors in the interpreter
   step loop, the checker, and the inference fixpoint, emitting
   schema-versioned ``PROFILE_*.json`` payloads (``--profile-json``);
+* **resources** (:mod:`repro.obs.resources`) — memory & resource
+  telemetry: peak-RSS sampling, tracemalloc allocation attribution to
+  the span/section vocabulary, GC pause tracking via ``gc.callbacks``,
+  and cache-occupancy watching, emitting schema-versioned
+  ``MEM_*.json`` payloads (``repro bench --mem`` / ``--mem-json``);
 * **history** (:mod:`repro.obs.history`) — the bench history store:
   per-scenario trend series over a directory of ``BENCH_*.json`` with
   a noise-aware changepoint detector (``repro bench trend``);
@@ -127,6 +132,21 @@ from repro.obs.report import (
     REPORT_SCHEMA,
     render_report,
     write_report,
+)
+from repro.obs.resources import (
+    RESOURCES_SCHEMA,
+    NullResourceMonitor,
+    ResourceError,
+    ResourceMonitor,
+    format_resources_table,
+    get_resource_monitor,
+    installed_resource_monitor,
+    peak_rss_bytes,
+    read_resources,
+    resources_payload,
+    set_resource_monitor,
+    validate_resources,
+    write_resources,
 )
 from repro.obs.propagate import (
     PropagationError,
@@ -227,6 +247,19 @@ __all__ = [
     "set_profiler",
     "validate_profile",
     "write_profile",
+    "RESOURCES_SCHEMA",
+    "NullResourceMonitor",
+    "ResourceError",
+    "ResourceMonitor",
+    "format_resources_table",
+    "get_resource_monitor",
+    "installed_resource_monitor",
+    "peak_rss_bytes",
+    "read_resources",
+    "resources_payload",
+    "set_resource_monitor",
+    "validate_resources",
+    "write_resources",
     "bench_payload",
     "compare_benchmarks",
     "environment_fingerprint",

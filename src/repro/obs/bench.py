@@ -327,12 +327,15 @@ def scenario_result_from_samples(
     counters: Optional[dict] = None,
     warmup: int = 0,
     spans: Optional[Sequence[dict]] = None,
+    memory: Optional[dict] = None,
 ) -> dict:
     """A scenario result from externally measured samples — how the
     paper-figure suites under ``benchmarks/`` feed their
     pytest-benchmark timings into the same JSON schema.  ``spans`` is an
     optional per-span self-time table (see :func:`run_scenario` with
-    ``span_table=True``) ready for :func:`attribute_benchmarks`."""
+    ``span_table=True``) ready for :func:`attribute_benchmarks`;
+    ``memory`` is an optional externally measured ``memory`` section
+    (the :func:`run_scenario` ``memory=True`` shape)."""
     if kind not in KINDS:
         raise BenchError(f"unknown scenario kind {kind!r}")
     samples = [float(s) for s in samples]
@@ -351,6 +354,8 @@ def scenario_result_from_samples(
     }
     if spans is not None:
         result["spans"] = list(spans)
+    if memory is not None:
+        result["memory"] = dict(memory)
     return result
 
 
@@ -375,6 +380,33 @@ def _span_table(events: Sequence[dict], scenario_name: str) -> list[dict]:
     return rows
 
 
+def _memory_section(
+    monitor, alloc_samples: Sequence[Optional[int]], gc_before: dict
+) -> dict:
+    """Fold one scenario's per-repetition allocation peaks and the
+    monitor's GC delta into the additive ``memory`` result section."""
+    alloc = [int(s) for s in alloc_samples if s is not None]
+    gc_after = monitor.gc_snapshot()
+    return {
+        "peak_rss_bytes": monitor.peak_rss(),
+        "alloc_per_rep_bytes": alloc,
+        "alloc_peak_bytes": max(alloc) if alloc else None,
+        "alloc_median_bytes": (
+            float(statistics.median(alloc)) if alloc else None
+        ),
+        "alloc_stddev_bytes": (
+            float(statistics.stdev(alloc)) if len(alloc) > 1 else 0.0
+        ),
+        "gc_collections": (
+            gc_after["collections"] - gc_before["collections"]
+        ),
+        "gc_pause_seconds_total": (
+            gc_after["pause_seconds_total"]
+            - gc_before["pause_seconds_total"]
+        ),
+    }
+
+
 def run_scenario(
     scenario: Scenario | str,
     *,
@@ -382,6 +414,8 @@ def run_scenario(
     repetitions: int = 5,
     clock: Callable[[], float] = time.perf_counter,
     span_table: bool = False,
+    memory: bool = False,
+    monitor=None,
 ) -> dict:
     """Build and time one scenario: ``warmup`` untimed runs, then
     ``repetitions`` timed ones.  The whole scenario runs under a root
@@ -395,6 +429,15 @@ def run_scenario(
     :func:`attribute_benchmarks` joins across two payloads.  If no real
     tracer is installed a local one is, scoped to this scenario, so
     ``--attribute`` payloads don't require ``--trace``.
+
+    With ``memory=True`` (or an explicit ``monitor``) the result grows
+    an additive ``memory`` section: peak RSS, per-repetition tracemalloc
+    allocation peaks with median/stddev, and the GC collections/pauses
+    charged to this scenario.  A supplied ``monitor`` is assumed already
+    started (``repro bench --mem`` shares one across scenarios so
+    ``--mem-json`` also captures section attribution); with ``memory=True``
+    alone a scenario-scoped :class:`~repro.obs.resources.ResourceMonitor`
+    is started and stopped here.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -406,6 +449,12 @@ def run_scenario(
 
     sink: Optional[CollectingSink] = None
     with ExitStack() as stack:
+        if memory and monitor is None:
+            from repro.obs.resources import ResourceMonitor
+
+            monitor = stack.enter_context(ResourceMonitor())
+        gc_before = monitor.gc_snapshot() if monitor is not None else None
+        alloc_samples: list[Optional[int]] = []
         tracer = get_tracer()
         if span_table:
             sink = CollectingSink()
@@ -429,10 +478,14 @@ def run_scenario(
             if sink is not None:
                 sink.enabled = True
             for index in range(repetitions):
+                if monitor is not None:
+                    monitor.begin_sample()
                 with tracer.span("repetition", index=index):
                     start = clock()
                     returned = op()
                     samples.append(clock() - start)
+                if monitor is not None:
+                    alloc_samples.append(monitor.end_sample())
                 if returned:
                     counters = {
                         k: float(v) for k, v in sorted(returned.items())
@@ -453,6 +506,8 @@ def run_scenario(
     }
     if sink is not None:
         result["spans"] = _span_table(sink.events, scenario.name)
+    if monitor is not None:
+        result["memory"] = _memory_section(monitor, alloc_samples, gc_before)
     return result
 
 
@@ -464,6 +519,8 @@ def run_scenarios(
     clock: Callable[[], float] = time.perf_counter,
     progress: Optional[Callable[[str], None]] = None,
     span_table: bool = False,
+    memory: bool = False,
+    monitor=None,
 ) -> list[dict]:
     """Run every scenario in order; results keep the given order."""
     results: list[dict] = []
@@ -475,6 +532,7 @@ def run_scenarios(
             run_scenario(
                 scenario, warmup=warmup, repetitions=repetitions,
                 clock=clock, span_table=span_table,
+                memory=memory, monitor=monitor,
             )
         )
     return results
@@ -631,7 +689,62 @@ def validate_bench(payload: dict) -> dict:
                             f"scenario {name!r}: span {span['name']!r}: "
                             f"{key} must be a number"
                         )
+        memory = entry.get("memory")
+        if memory is not None:
+            # Optional, additive (like spans): payloads measured before
+            # memory telemetry existed stay valid and compare time-only.
+            _validate_memory_section(name, memory)
     return payload
+
+
+def _validate_memory_section(name: str, memory) -> None:
+    if not isinstance(memory, dict):
+        raise BenchError(f"scenario {name!r}: memory must be an object")
+    for key in ("peak_rss_bytes", "alloc_peak_bytes"):
+        value = memory.get(key)
+        if value is not None and (not isinstance(value, int) or value < 0):
+            raise BenchError(
+                f"scenario {name!r}: memory.{key} must be a non-negative "
+                f"int or null"
+            )
+    per_rep = memory.get("alloc_per_rep_bytes")
+    if not isinstance(per_rep, list) or not all(
+        isinstance(s, int) and s >= 0 for s in per_rep
+    ):
+        raise BenchError(
+            f"scenario {name!r}: memory.alloc_per_rep_bytes must be a "
+            f"list of non-negative ints"
+        )
+    median = memory.get("alloc_median_bytes")
+    if per_rep:
+        if not isinstance(median, (int, float)) or median < 0:
+            raise BenchError(
+                f"scenario {name!r}: memory.alloc_median_bytes must be a "
+                f"non-negative number"
+            )
+    elif median is not None:
+        raise BenchError(
+            f"scenario {name!r}: memory.alloc_median_bytes must be null "
+            f"without per-rep samples"
+        )
+    stddev = memory.get("alloc_stddev_bytes")
+    if not isinstance(stddev, (int, float)) or stddev < 0:
+        raise BenchError(
+            f"scenario {name!r}: memory.alloc_stddev_bytes must be a "
+            f"non-negative number"
+        )
+    if not isinstance(memory.get("gc_collections"), int) \
+            or memory["gc_collections"] < 0:
+        raise BenchError(
+            f"scenario {name!r}: memory.gc_collections must be a "
+            f"non-negative int"
+        )
+    pause = memory.get("gc_pause_seconds_total")
+    if not isinstance(pause, (int, float)) or pause < 0:
+        raise BenchError(
+            f"scenario {name!r}: memory.gc_pause_seconds_total must be a "
+            f"non-negative number"
+        )
 
 
 def read_bench(path: str | Path) -> dict:
@@ -679,6 +792,13 @@ def compare_benchmarks(
     improvement (faster), anything else is within noise.  Scenarios the
     baseline has but the new run lacks are ``missing`` — the gate fails
     on them, because silently dropping coverage must not pass.
+
+    Scenarios carrying a ``memory`` section in *both* payloads are
+    additionally judged on their median per-repetition allocation peak,
+    under the exact same rule with the noise envelope in bytes
+    (``alloc_stddev_bytes`` old + new); memory regressions fail the
+    gate like time regressions.  Payloads without memory telemetry
+    compare time-only — no error, no memory rows.
     """
     validate_bench(old)
     validate_bench(new)
@@ -737,6 +857,10 @@ def compare_benchmarks(
     regressions = [r["name"] for r in rows if r["status"] == REGRESSION]
     improvements = [r["name"] for r in rows if r["status"] == IMPROVEMENT]
     missing = [r["name"] for r in rows if r["status"] == MISSING]
+    memory_rows = _compare_memory(old_by, new_by, float(threshold_pct))
+    memory_regressions = [
+        r["name"] for r in memory_rows if r["status"] == REGRESSION
+    ]
     return {
         "threshold_pct": float(threshold_pct),
         "rows": rows,
@@ -744,8 +868,59 @@ def compare_benchmarks(
         "improvements": improvements,
         "missing": missing,
         "added": [r["name"] for r in rows if r["status"] == ADDED],
-        "ok": not regressions and not missing,
+        "memory_rows": memory_rows,
+        "memory_regressions": memory_regressions,
+        "memory_improvements": [
+            r["name"] for r in memory_rows if r["status"] == IMPROVEMENT
+        ],
+        "ok": not regressions and not missing and not memory_regressions,
     }
+
+
+def _compare_memory(
+    old_by: dict, new_by: dict, threshold_pct: float
+) -> list[dict]:
+    """Memory comparison rows for scenarios whose *both* sides carry a
+    ``memory`` section with allocation samples — the same meaningful-
+    shift rule as the time gate, with the noise envelope in bytes."""
+    rows: list[dict] = []
+    for name in sorted(set(old_by) & set(new_by)):
+        old_m = old_by[name].get("memory")
+        new_m = new_by[name].get("memory")
+        if not isinstance(old_m, dict) or not isinstance(new_m, dict):
+            continue
+        old_med = old_m.get("alloc_median_bytes")
+        new_med = new_m.get("alloc_median_bytes")
+        if old_med is None or new_med is None:
+            continue
+        old_med, new_med = float(old_med), float(new_med)
+        noise = float(old_m.get("alloc_stddev_bytes", 0.0)) + float(
+            new_m.get("alloc_stddev_bytes", 0.0)
+        )
+        meaningful = abs(new_med - old_med) > noise
+        delta_pct = (
+            (new_med - old_med) / old_med * 100.0 if old_med > 0 else None
+        )
+        if delta_pct is None:
+            status = REGRESSION if (meaningful and new_med > 0) \
+                else WITHIN_NOISE
+        elif meaningful and delta_pct > threshold_pct:
+            status = REGRESSION
+        elif meaningful and delta_pct < -threshold_pct:
+            status = IMPROVEMENT
+        else:
+            status = WITHIN_NOISE
+        rows.append({
+            "name": name,
+            "old_alloc_median_bytes": old_med,
+            "new_alloc_median_bytes": new_med,
+            "old_peak_rss_bytes": old_m.get("peak_rss_bytes"),
+            "new_peak_rss_bytes": new_m.get("peak_rss_bytes"),
+            "delta_pct": delta_pct,
+            "noise_bytes": noise,
+            "status": status,
+        })
+    return rows
 
 
 # ---------------------------------------------------------------------------
@@ -895,24 +1070,43 @@ def _ms(seconds: Optional[float]) -> str:
     return "        -" if seconds is None else f"{seconds * 1000.0:9.2f}"
 
 
+def _kib(value) -> str:
+    return "        -" if value is None else f"{value / 1024.0:9.1f}"
+
+
 def format_bench_table(payload: dict) -> str:
-    """Human rendering of one bench payload, deterministic layout."""
+    """Human rendering of one bench payload, deterministic layout.
+    Memory columns (median alloc peak per rep, process peak RSS) appear
+    only when at least one scenario carries a ``memory`` section, so
+    time-only payloads render byte-identically to older builds."""
     scenarios = payload["scenarios"]
+    with_memory = any(s.get("memory") for s in scenarios)
     width = max([len("scenario")] + [len(s["name"]) for s in scenarios])
+    memory_head = f" {'alloc KiB':>9} {'rss MiB':>8}" if with_memory else ""
     lines = [
         f"{'scenario':<{width}} {'reps':>4} {'min ms':>9} {'median ms':>9} "
-        f"{'mean ms':>9} {'stddev ms':>9}  counters"
+        f"{'mean ms':>9} {'stddev ms':>9}{memory_head}  counters"
     ]
     for entry in scenarios:
         counters = ", ".join(
             f"{key}={_render_count(value)}"
             for key, value in sorted(entry["counters"].items())
         )
+        memory_cells = ""
+        if with_memory:
+            memory = entry.get("memory") or {}
+            rss = memory.get("peak_rss_bytes")
+            rss_text = (
+                "       -" if rss is None else f"{rss / 1048576.0:8.1f}"
+            )
+            memory_cells = (
+                f" {_kib(memory.get('alloc_median_bytes'))} {rss_text}"
+            )
         lines.append(
             f"{entry['name']:<{width}} {entry['repetitions']:4d} "
             f"{_ms(entry['min_seconds'])} {_ms(entry['median_seconds'])} "
             f"{_ms(entry['mean_seconds'])} {_ms(entry['stddev_seconds'])}"
-            f"  {counters}"
+            f"{memory_cells}  {counters}"
         )
     return "\n".join(lines)
 
@@ -954,5 +1148,33 @@ def format_comparison(comparison: dict) -> str:
     if comparison["added"]:
         lines.append(
             f"// added in new run: {', '.join(comparison['added'])}"
+        )
+    memory_rows = comparison.get("memory_rows") or []
+    if memory_rows:
+        width = max(
+            [len("scenario")] + [len(r["name"]) for r in memory_rows]
+        )
+        lines.append(
+            f"{'scenario':<{width}} {'old KiB':>9} {'new KiB':>9} "
+            f"{'delta':>8}  memory status"
+        )
+        for row in memory_rows:
+            delta = (
+                f"{row['delta_pct']:+7.1f}%"
+                if row["delta_pct"] is not None else "       -"
+            )
+            lines.append(
+                f"{row['name']:<{width}} "
+                f"{row['old_alloc_median_bytes'] / 1024.0:9.1f} "
+                f"{row['new_alloc_median_bytes'] / 1024.0:9.1f} "
+                f"{delta}  {row['status']}"
+            )
+        lines.append(
+            f"// memory (median alloc peak/rep, same ±"
+            f"{comparison['threshold_pct']:g}% + byte-noise envelope): "
+            f"{len(comparison.get('memory_regressions') or [])} "
+            f"regression(s), "
+            f"{len(comparison.get('memory_improvements') or [])} "
+            f"improvement(s)"
         )
     return "\n".join(lines)

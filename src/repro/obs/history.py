@@ -37,7 +37,7 @@ import json
 import statistics
 import warnings
 from pathlib import Path
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.obs.bench import (
     BenchError,
@@ -139,6 +139,8 @@ def trend_series(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
                     "points": [],
                 },
             )
+            memory = scenario.get("memory") or {}
+            alloc_median = memory.get("alloc_median_bytes")
             entry["points"].append({
                 "file": filename,
                 "created_utc": payload["created_utc"],
@@ -146,12 +148,25 @@ def trend_series(payloads: Sequence[tuple[str, dict]]) -> list[dict]:
                 "median_seconds": float(scenario["median_seconds"]),
                 "stddev_seconds": float(scenario["stddev_seconds"]),
                 "repetitions": int(scenario["repetitions"]),
+                # Memory telemetry (PR 10) is additive: points from
+                # payloads without a memory section carry nulls.
+                "alloc_median_bytes": (
+                    None if alloc_median is None else float(alloc_median)
+                ),
+                "alloc_stddev_bytes": float(
+                    memory.get("alloc_stddev_bytes") or 0.0
+                ),
+                "peak_rss_bytes": memory.get("peak_rss_bytes"),
             })
     return [series[key] for key in sorted(series)]
 
 
 def detect_changepoints(
-    points: Sequence[dict], *, threshold_pct: float = 10.0
+    points: Sequence[dict],
+    *,
+    threshold_pct: float = 10.0,
+    value_key: str = "median_seconds",
+    noise_key: str = "stddev_seconds",
 ) -> list[dict]:
     """Changepoints in one chronological point series.
 
@@ -160,6 +175,13 @@ def detect_changepoints(
     envelope (median segment stddev + the point's stddev, the
     ``--compare`` rule) **and** beyond ``threshold_pct`` of the segment
     median.  A detected changepoint starts a new segment at that point.
+
+    ``value_key``/``noise_key`` select the judged metric: the defaults
+    give the wall-time trend, and the memory trend runs the same
+    detector over ``alloc_median_bytes``/``alloc_stddev_bytes`` — one
+    rule, two units.  The emitted ``baseline_median_seconds``/
+    ``median_seconds``/``noise_seconds`` fields carry whichever metric
+    was judged.
     """
     if threshold_pct < 0:
         raise BenchError("threshold_pct must be >= 0")
@@ -168,14 +190,14 @@ def detect_changepoints(
     for index in range(1, len(points)):
         segment = points[segment_start:index]
         base_median = statistics.median(
-            p["median_seconds"] for p in segment
+            p[value_key] for p in segment
         )
         base_noise = statistics.median(
-            p["stddev_seconds"] for p in segment
+            p[noise_key] for p in segment
         )
         point = points[index]
-        delta = point["median_seconds"] - base_median
-        noise = base_noise + point["stddev_seconds"]
+        delta = point[value_key] - base_median
+        noise = base_noise + point[noise_key]
         if base_median <= 0:
             continue
         delta_pct = delta / base_median * 100.0
@@ -188,7 +210,7 @@ def detect_changepoints(
                 "direction": REGRESSION if delta > 0 else IMPROVEMENT,
                 "delta_pct": delta_pct,
                 "baseline_median_seconds": base_median,
-                "median_seconds": point["median_seconds"],
+                "median_seconds": point[value_key],
                 "noise_seconds": noise,
             })
             segment_start = index
@@ -200,11 +222,25 @@ def bench_trend(
     *,
     threshold_pct: float = 10.0,
     pattern: str = "*.json",
+    scenarios: Optional[Sequence[str]] = None,
 ) -> dict:
     """The full trend document over a history directory: every series
-    with its changepoints, plus the skip record."""
+    with its changepoints (time, and memory where points carry
+    allocation telemetry), plus the skip record.  ``scenarios`` filters
+    the series to the named scenarios (``repro bench trend --scenario``)
+    — unknown names raise, so a typo cannot read as "no data"."""
     payloads, skipped = load_history(directory, pattern=pattern)
     series = trend_series(payloads)
+    if scenarios:
+        wanted = set(scenarios)
+        known = {entry["scenario"] for entry in series}
+        unknown = sorted(wanted - known)
+        if unknown:
+            raise BenchError(
+                f"no history for scenario(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(known)) or '(none)'}"
+            )
+        series = [e for e in series if e["scenario"] in wanted]
     for entry in series:
         points = entry["points"]
         entry["changepoints"] = detect_changepoints(
@@ -215,6 +251,33 @@ def bench_trend(
         entry["net_delta_pct"] = (
             (last - first) / first * 100.0 if first > 0 else None
         )
+        # The memory trend: the same detector over the subseries of
+        # points that carry allocation telemetry, changepoint indexes
+        # mapped back to positions in the full point list.
+        mem_indexed = [
+            (index, p) for index, p in enumerate(points)
+            if p.get("alloc_median_bytes") is not None
+        ]
+        mem_points = [p for _, p in mem_indexed]
+        memory_changepoints = detect_changepoints(
+            mem_points,
+            threshold_pct=threshold_pct,
+            value_key="alloc_median_bytes",
+            noise_key="alloc_stddev_bytes",
+        )
+        for cp in memory_changepoints:
+            cp["index"] = mem_indexed[cp["index"]][0]
+        entry["memory_changepoints"] = memory_changepoints
+        entry["memory_points"] = len(mem_points)
+        if mem_points:
+            first_mem = mem_points[0]["alloc_median_bytes"]
+            last_mem = mem_points[-1]["alloc_median_bytes"]
+            entry["net_memory_delta_pct"] = (
+                (last_mem - first_mem) / first_mem * 100.0
+                if first_mem > 0 else None
+            )
+        else:
+            entry["net_memory_delta_pct"] = None
     return {
         "threshold_pct": float(threshold_pct),
         "payloads": len(payloads),
@@ -252,26 +315,43 @@ def _mark_changepoints(changepoints: list[dict]) -> str:
 
 def format_trend_table(trend: dict) -> str:
     """Deterministic text rendering of one trend document: one row per
-    series with a sparkline of medians and its changepoints marked."""
+    series with a sparkline of medians and its changepoints marked.
+    When any series carries memory telemetry, a memory sparkline column
+    (median alloc peak per rep) is appended — time-only histories keep
+    the original layout byte for byte."""
     series = trend["series"]
     if not series:
         return "// no bench payloads in the history directory"
+    with_memory = any(s.get("memory_points") for s in series)
     width = max([len("scenario")] + [len(s["scenario"]) for s in series])
+    memory_head = "  mem trend   mem changepoints" if with_memory else ""
     lines = [
         f"{'scenario':<{width}} {'env':<12} {'n':>3} {'first ms':>9} "
         f"{'last ms':>9} {'net':>8}  trend       changepoints"
+        f"{memory_head}"
     ]
     for entry in series:
         points = entry["points"]
         medians = [p["median_seconds"] for p in points]
         net = entry["net_delta_pct"]
         net_text = f"{net:+7.1f}%" if net is not None else "       -"
+        memory_cells = ""
+        if with_memory:
+            allocs = [
+                p["alloc_median_bytes"] for p in points
+                if p.get("alloc_median_bytes") is not None
+            ]
+            memory_cells = (
+                f"  {sparkline(allocs) or '-':<11} "
+                f"{_mark_changepoints(entry.get('memory_changepoints', []))}"
+            )
         lines.append(
             f"{entry['scenario']:<{width}} {entry['env']:<12} "
             f"{len(points):3d} {medians[0] * 1000.0:9.2f} "
             f"{medians[-1] * 1000.0:9.2f} {net_text}  "
             f"{sparkline(medians):<11} "
             f"{_mark_changepoints(entry['changepoints'])}"
+            f"{memory_cells}"
         )
     regressions = sum(
         1 for s in series for cp in s["changepoints"]
@@ -287,4 +367,19 @@ def format_trend_table(trend: dict) -> str:
         f"regression changepoint(s), {improvements} improvement "
         f"changepoint(s), {len(trend['skipped'])} file(s) skipped"
     )
+    if with_memory:
+        mem_regressions = sum(
+            1 for s in series for cp in s.get("memory_changepoints", [])
+            if cp["direction"] == REGRESSION
+        )
+        mem_improvements = sum(
+            1 for s in series for cp in s.get("memory_changepoints", [])
+            if cp["direction"] == IMPROVEMENT
+        )
+        mem_points = sum(s.get("memory_points", 0) for s in series)
+        lines.append(
+            f"// memory: {mem_points} point(s) with allocation "
+            f"telemetry, {mem_regressions} regression changepoint(s), "
+            f"{mem_improvements} improvement changepoint(s)"
+        )
     return "\n".join(lines)

@@ -375,6 +375,7 @@ def _timeline_section(manifest: dict) -> str:
     for shard_id in sorted(shards):
         record = shards[shard_id]
         obs = record.get("obs", {})
+        rss = obs.get("peak_rss_bytes")
         rows.append((
             shard_id,
             record.get("status", "?"),
@@ -385,6 +386,8 @@ def _timeline_section(manifest: dict) -> str:
             # Worker-process provenance (distributed tracing, PR 8);
             # manifests from older campaigns simply lack the key.
             obs.get("pid"),
+            # Worker peak RSS (memory telemetry, PR 10), MiB.
+            None if rss is None else rss / 1048576.0,
         ))
     longest = max(
         (row[2] for row in rows if isinstance(row[2], (int, float))),
@@ -412,7 +415,7 @@ def _timeline_section(manifest: dict) -> str:
     return (
         "<h2>Shard timeline</h2>" + svg + _table(
             ("shard", "status", "run s", "queue s", "attempts", "timeouts",
-             "pid"),
+             "pid", "peak rss MiB"),
             rows, name_columns=2,
         )
     )
@@ -539,6 +542,45 @@ def _bench_section(benches: list[tuple[str, dict]]) -> str:
     )
 
 
+def _memory_section(benches: list[tuple[str, dict]]) -> str:
+    """The "Memory" panel: per-scenario allocation and RSS telemetry
+    from bench payloads carrying the additive ``memory`` section.
+    Empty when no payload has one, so time-only reports stay
+    byte-identical to builds that predate memory telemetry."""
+    rows = []
+    for label, payload in benches:
+        for result in payload.get("scenarios", []):
+            memory = result.get("memory")
+            if not memory:
+                continue
+            rss = memory.get("peak_rss_bytes")
+            alloc_median = memory.get("alloc_median_bytes")
+            alloc_peak = memory.get("alloc_peak_bytes")
+            rows.append((
+                result["name"], label,
+                None if alloc_median is None else alloc_median / 1024.0,
+                None if alloc_peak is None else alloc_peak / 1024.0,
+                None if rss is None else rss / 1048576.0,
+                memory.get("gc_collections"),
+                None if memory.get("gc_pause_seconds_total") is None
+                else memory["gc_pause_seconds_total"] * 1000.0,
+            ))
+    if not rows:
+        return ""
+    return (
+        "<h2>Memory</h2>"
+        '<p class="note">Per-scenario allocation telemetry: median and '
+        "max per-repetition tracemalloc peak, process peak RSS at "
+        "measurement time, and the GC collections/pauses charged to the "
+        "scenario.</p>"
+        + _table(
+            ("scenario", "payload", "alloc median KiB", "alloc peak KiB",
+             "peak RSS MiB", "gc collections", "gc pause ms"),
+            rows, name_columns=2,
+        )
+    )
+
+
 def _spark_figure(entry: dict) -> str:
     """One perf-trajectory sparkline: the series' medians left to right,
     scaled to the data range, with a dot on every changepoint (red for a
@@ -591,13 +633,84 @@ def _spark_figure(entry: dict) -> str:
     )
 
 
+def _memory_spark_figure(entry: dict) -> str:
+    """One memory-trajectory sparkline: the series' median allocation
+    peaks (points without memory telemetry skipped), memory
+    changepoints dotted like the time trend."""
+    indexed = [
+        (index, p) for index, p in enumerate(entry["points"])
+        if p.get("alloc_median_bytes") is not None
+    ]
+    positions = {index: pos for pos, (index, _) in enumerate(indexed)}
+    values = [p["alloc_median_bytes"] for _, p in indexed]
+    width, height, top = 150.0, 40.0, 5.0
+    low, high = min(values), max(values)
+    span = (high - low) or 1.0
+    xs = (
+        [width / 2] if len(values) == 1
+        else [i * width / (len(values) - 1) for i in range(len(values))]
+    )
+
+    def y_of(value: float) -> float:
+        return top + height - (value - low) / span * height
+
+    parts = [f'<line class="axis" x1="0" y1="{top + height:g}" '
+             f'x2="{width:g}" y2="{top + height:g}" />']
+    if len(values) > 1:
+        coords = " ".join(
+            f"{x:.2f},{y_of(v):.2f}" for x, v in zip(xs, values)
+        )
+        parts.append(f'<polyline class="spark" points="{coords}" />')
+    for cp in entry.get("memory_changepoints", []):
+        pos = positions.get(cp["index"])
+        if pos is None:
+            continue
+        parts.append(
+            f'<circle class="changepoint {cp["direction"]}" '
+            f'cx="{xs[pos]:.2f}" cy="{y_of(values[pos]):.2f}" '
+            f'r="2.5" />'
+        )
+    net = entry.get("net_memory_delta_pct")
+    svg = _tag(
+        "svg", "".join(parts),
+        viewBox=f"0 0 {width:g} {height + 2 * top:g}",
+        width="150", height="50",
+        data_scenario=entry["scenario"],
+        data_env=entry["env"],
+        data_memory_points=len(values),
+        data_changepoints=len(entry.get("memory_changepoints", [])),
+    )
+    caption = (
+        f'{_esc(entry["scenario"])} · {len(values)} runs · '
+        f'net {_esc(None if net is None else f"{net:+.1f}%")}'
+    )
+    return _tag(
+        "figure", svg + f"<figcaption>{caption}</figcaption>", **{
+            "class": "curve",
+        }
+    )
+
+
 def _trend_section(trend: dict) -> str:
     """The perf-trajectory panel: one sparkline per (scenario,
     environment) series over the bench history directory, changepoints
-    marked, plus a table of every detected changepoint."""
+    marked, plus a table of every detected changepoint.  A trend
+    document with no series (empty or missing history directory) still
+    renders a valid "no history" note instead of vanishing."""
     series = trend.get("series", [])
     if not series:
-        return ""
+        missing = trend.get("missing_directory")
+        detail = (
+            f"history directory {_esc(missing)} does not exist."
+            if missing else
+            "no bench payloads in the history directory yet — run "
+            "<code>repro bench</code> and copy the "
+            "<code>BENCH_*.json</code> there."
+        )
+        return (
+            "<h2>Perf trajectory</h2>"
+            f'<p class="note">No bench history: {detail}</p>'
+        )
     sections = [
         "<h2>Perf trajectory</h2>",
         f'<p class="note">{trend["payloads"]} bench payload(s); one '
@@ -624,6 +737,34 @@ def _trend_section(trend: dict) -> str:
              "baseline median s", "median s"),
             cp_rows, name_columns=4,
         ))
+    with_memory = [e for e in series if e.get("memory_points")]
+    if with_memory:
+        sections.append("<h3>Memory trajectory</h3>")
+        sections.append(
+            '<p class="note">Median per-repetition allocation peak per '
+            "run (runs without memory telemetry skipped); dots mark "
+            "memory changepoints under the same noise + threshold "
+            "rule, in bytes.</p>"
+        )
+        sections.append(_tag(
+            "div",
+            "".join(_memory_spark_figure(e) for e in with_memory),
+            **{"class": "curves"},
+        ))
+        mem_cp_rows = [
+            (entry["scenario"], cp["created_utc"],
+             (cp.get("git_sha") or "")[:12], cp["direction"],
+             cp["delta_pct"], cp["baseline_median_seconds"] / 1024.0,
+             cp["median_seconds"] / 1024.0)
+            for entry in with_memory
+            for cp in entry.get("memory_changepoints", [])
+        ]
+        if mem_cp_rows:
+            sections.append(_table(
+                ("scenario", "run", "git sha", "direction", "delta %",
+                 "baseline alloc KiB", "alloc KiB"),
+                mem_cp_rows, name_columns=4,
+            ))
     if trend.get("skipped"):
         sections.append(
             '<p class="note">Skipped unreadable history files: '
@@ -681,9 +822,12 @@ def render_report(
         sections.append(_events_section(events))
     if benches:
         sections.append(_bench_section(list(benches)))
+        sections.append(_memory_section(list(benches)))
     if trend is not None:
         sections.append(_trend_section(trend))
-    has_trend = bool(trend) and bool(trend.get("series"))
+    # An empty trend document still renders a "no history" note, so a
+    # trend input — even a missing directory — counts as content.
+    has_trend = trend is not None
     if campaign is None and not events and not benches and not has_trend:
         sections.append(
             '<p class="note">Nothing to report: no campaign manifest, '
@@ -727,7 +871,19 @@ def write_report(
     if history_dir is not None:
         from repro.obs.history import bench_trend
 
-        trend = bench_trend(history_dir, threshold_pct=trend_threshold)
+        if Path(history_dir).is_dir():
+            trend = bench_trend(history_dir, threshold_pct=trend_threshold)
+        else:
+            # A fresh clone has no benchmarks/history/ yet; the report
+            # must render a valid "no history" page, not error out.
+            trend = {
+                "threshold_pct": float(trend_threshold),
+                "payloads": 0,
+                "files": [],
+                "skipped": [],
+                "series": [],
+                "missing_directory": str(history_dir),
+            }
     document = render_report(
         campaign=campaign,
         events=events,

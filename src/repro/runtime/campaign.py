@@ -344,11 +344,17 @@ def run_shard(payload: dict) -> dict:
                 chaos.crash_point("worker.shard", shard_id)
         if shard_span is not None:
             shard_span.count("trials", len(trials))
+    from repro.obs.resources import peak_rss_bytes
+
     return {
         "shard_id": shard_id,
         "trials": trials,
         "run_seconds": time.perf_counter() - start,
         "pid": os.getpid(),
+        # Worker-side memory accounting: the worker process's lifetime
+        # peak RSS at shard completion (one getrusage call), so the
+        # driver can spot the shard that blew the memory budget.
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 
@@ -656,6 +662,9 @@ class CampaignRunner:
                     if t["verdict"] == TIMEOUT
                 ),
                 "pid": result.get("pid"),
+                # Worker peak RSS (memory telemetry, PR 10); manifests
+                # from older campaigns simply lack the key.
+                "peak_rss_bytes": result.get("peak_rss_bytes"),
             }
             record = {
                 "status": "done",
@@ -704,6 +713,7 @@ class CampaignRunner:
                 run_seconds=obs["run_seconds"],
                 retries=obs["retries"],
                 timeouts=obs["timeouts"],
+                peak_rss_bytes=obs["peak_rss_bytes"],
             )
         self._manifest["shards"][shard.shard_id] = record
         self._save_manifest()

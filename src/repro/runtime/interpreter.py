@@ -274,8 +274,11 @@ class Interpreter:
             raise SJavaRuntimeError(f"unhandled statement {type(stmt).__name__}", stmt)
 
     def _exec_event_loop(self, stmt: ast.While, frame: "_Frame") -> None:
+        from repro.obs.resources import get_resource_monitor
+
         with get_profiler().section("interpreter.step"):
-            self._exec_event_loop_body(stmt, frame)
+            with get_resource_monitor().section("interpreter.step"):
+                self._exec_event_loop_body(stmt, frame)
 
     def _exec_event_loop_body(
         self, stmt: ast.While, frame: "_Frame"

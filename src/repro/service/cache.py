@@ -91,6 +91,8 @@ class ResultCache:
     disk_dir: Optional[Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
     _memory: "OrderedDict[str, CheckReport]" = field(default_factory=OrderedDict)
+    #: Serialized size per memory-tier entry, for occupancy telemetry.
+    _sizes: dict = field(default_factory=dict)
 
     @classmethod
     def with_default_disk(cls, max_entries: int = 512) -> "ResultCache":
@@ -127,9 +129,41 @@ class ResultCache:
     def _remember(self, key: str, report: CheckReport) -> None:
         self._memory[key] = report
         self._memory.move_to_end(key)
+        try:
+            self._sizes[key] = len(json.dumps(report.to_dict()))
+        except (TypeError, ValueError):  # unserializable: count entry only
+            self._sizes[key] = 0
         while len(self._memory) > self.max_entries:
-            self._memory.popitem(last=False)
+            evicted, _ = self._memory.popitem(last=False)
+            self._sizes.pop(evicted, None)
             self.stats.evictions += 1
+
+    def occupancy(self) -> dict:
+        """Entries and serialized bytes per cache tier — the shape the
+        resource monitor's ``watch_cache`` suppliers, the daemon's
+        ``/healthz`` document, and the ``repro_cache_*`` occupancy
+        gauges report.  Disk-tier I/O errors degrade to zeros: telemetry
+        must never make checking less reliable."""
+        tiers = {
+            "memory": {
+                "entries": len(self._memory),
+                "bytes": sum(self._sizes.values()),
+            },
+        }
+        if self.disk_dir is not None:
+            entries = 0
+            total = 0
+            try:
+                for path in self.disk_dir.glob("*.json"):
+                    try:
+                        total += path.stat().st_size
+                    except OSError:
+                        continue
+                    entries += 1
+            except OSError:
+                pass
+            tiers["disk"] = {"entries": entries, "bytes": total}
+        return tiers
 
     # -- disk tier -------------------------------------------------------
 

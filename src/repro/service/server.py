@@ -67,6 +67,7 @@ from repro.obs import (
 from repro.chaos.injector import get_chaos
 from repro.obs.events import EventError, get_event_log, set_event_log
 from repro.obs.exporter import maybe_exporter
+from repro.obs.resources import ResourceMonitor
 from repro.obs.propagate import PropagationError, TraceContext
 from repro.service import protocol
 from repro.service.cache import ResultCache
@@ -166,6 +167,21 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         self.event_buffer = EventBuffer(capacity=512)
         self.event_log = EventLog(level="debug", sinks=(self.event_buffer,))
         self._previous_event_log = set_event_log(self.event_log)
+        # Resource telemetry for /healthz and the repro_rss/gc/cache
+        # gauges: RSS + GC pauses + cache occupancy only — tracemalloc
+        # stays off in the daemon (allocation tracing taxes every
+        # request; opt in via `repro bench --mem` instead).
+        self.resources = ResourceMonitor(trace_allocations=False).start()
+        daemon_cache = self.pool.cache
+        if daemon_cache is not None:
+            self.resources.watch_cache(
+                "memory", lambda: daemon_cache.occupancy()["memory"]
+            )
+            if daemon_cache.disk_dir is not None:
+                self.resources.watch_cache(
+                    "disk",
+                    lambda: daemon_cache.occupancy().get("disk", {}),
+                )
         # The HTTP observability plane: /metrics byte-equal to the
         # socket `metrics` op (same prepare + render path), /healthz
         # from the drain accounting, /events from the same ring the
@@ -232,6 +248,7 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             set_tracer(self._previous_tracer)
         if get_event_log() is self.event_log:
             set_event_log(self._previous_event_log)
+        self.resources.stop()
         self.exporter.close()
         self.server_close()
         Path(self.socket_path).unlink(missing_ok=True)
@@ -247,6 +264,9 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "inflight": self.inflight(),
             "requests_served": served,
+            "rss_bytes": self.resources.peak_rss(),
+            "gc": self.resources.gc_snapshot(),
+            "cache_occupancy": self.resources.cache_occupancy(),
         }
 
     # -- dispatch --------------------------------------------------------
@@ -385,6 +405,7 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
         """Mirror :class:`CacheStats` into the registry so one snapshot
         carries cache hit/miss/eviction counts alongside everything
         else."""
+        self._sync_resource_metrics()
         cache = self.pool.cache
         if cache is None:
             return
@@ -392,6 +413,37 @@ class ReproServer(socketserver.ThreadingMixIn, socketserver.UnixStreamServer):
             self.metrics.gauge(
                 f"repro_cache_{name}", f"result cache {name.replace('_', ' ')}"
             ).set(value)
+
+    def _sync_resource_metrics(self) -> None:
+        """Mirror the resource monitor into the registry: process RSS,
+        GC totals, and per-tier cache occupancy (documented in
+        ``docs/SERVICE.md``)."""
+        rss = self.resources.peak_rss()
+        if rss is not None:
+            self.metrics.gauge(
+                "repro_rss_bytes", "peak resident set size"
+            ).set(rss)
+        gc_doc = self.resources.gc_snapshot()
+        self.metrics.gauge(
+            "repro_gc_collections_total", "garbage collections observed"
+        ).set(gc_doc["collections"])
+        self.metrics.gauge(
+            "repro_gc_pause_seconds_total", "summed gc pause time"
+        ).set(gc_doc["pause_seconds_total"])
+        occupancy = self.resources.cache_occupancy()
+        total_bytes = 0
+        for tier, stats in occupancy.items():
+            total_bytes += stats["bytes"]
+            self.metrics.gauge(
+                f"repro_cache_{tier}_entries", f"{tier} cache tier entries"
+            ).set(stats["entries"])
+            self.metrics.gauge(
+                f"repro_cache_{tier}_bytes", f"{tier} cache tier bytes"
+            ).set(stats["bytes"])
+        if occupancy:
+            self.metrics.gauge(
+                "repro_cache_bytes", "result cache bytes across tiers"
+            ).set(total_bytes)
 
     def _op_status(self, request: dict, request_id: int) -> dict:
         with self._lock:

@@ -702,3 +702,291 @@ class TestAttributionCli:
         names = {row["name"] for row in spans}
         assert "check" in names
         assert not names & {"warmup", "repetition", "bench.check/wind_sensor"}
+
+
+MEMORY_GOLDEN = Path(__file__).parent / "golden" / "bench_memory.golden.json"
+
+
+class _SteppingAlloc:
+    """A tracemalloc stand-in whose traced count grows by a fixed step
+    on every read, so per-repetition peaks are deterministic."""
+
+    def __init__(self, step: int = 512) -> None:
+        self.step = step
+        self.current = 0
+        self.peak = 0
+
+    def read(self):
+        self.current += self.step
+        self.peak = max(self.peak, self.current)
+        return (self.current, self.peak)
+
+    def reset(self) -> None:
+        self.peak = self.current
+
+
+def _fake_monitor(alloc=None, rss: int = 64 * 1048576):
+    from repro.obs.resources import ResourceMonitor
+
+    return ResourceMonitor(
+        clock=_counting_clock(0.25),
+        rss_supplier=lambda: rss,
+        track_gc=False,
+        alloc_read=(alloc or _SteppingAlloc()).read if alloc is None
+        else alloc.read,
+        alloc_reset=None if alloc is None else alloc.reset,
+    ).start()
+
+
+def _memory(allocs, *, rss=64 * 1048576, stddev=None, gc=0, pause=0.0):
+    import statistics
+
+    return {
+        "peak_rss_bytes": rss,
+        "alloc_per_rep_bytes": list(allocs),
+        "alloc_peak_bytes": max(allocs) if allocs else None,
+        "alloc_median_bytes": (
+            float(statistics.median(allocs)) if allocs else None
+        ),
+        "alloc_stddev_bytes": (
+            stddev if stddev is not None
+            else float(statistics.stdev(allocs)) if len(allocs) > 1 else 0.0
+        ),
+        "gc_collections": gc,
+        "gc_pause_seconds_total": pause,
+    }
+
+
+def _mem_result(name, samples, allocs, *, stddev=None, kind="check"):
+    return scenario_result_from_samples(
+        name, kind, samples, counters={"ops": 2}, warmup=1,
+        memory=_memory(allocs, stddev=stddev),
+    )
+
+
+class TestMemoryTelemetry:
+    def test_run_scenario_collects_memory_section(self):
+        alloc = _SteppingAlloc(step=512)
+        result = run_scenario(
+            _toy_scenario(),
+            warmup=1,
+            repetitions=3,
+            clock=_counting_clock(0.5),
+            monitor=_fake_monitor(alloc),
+        )
+        memory = result["memory"]
+        assert memory["alloc_per_rep_bytes"] == [512, 512, 512]
+        assert memory["alloc_peak_bytes"] == 512
+        assert memory["alloc_median_bytes"] == 512.0
+        assert memory["alloc_stddev_bytes"] == 0.0
+        assert memory["peak_rss_bytes"] == 64 * 1048576
+        assert memory["gc_collections"] == 0
+        assert memory["gc_pause_seconds_total"] == 0.0
+
+    def test_memory_true_owns_a_scenario_scoped_monitor(self):
+        import tracemalloc
+
+        assert not tracemalloc.is_tracing()
+        result = run_scenario(
+            _toy_scenario(),
+            warmup=0,
+            repetitions=2,
+            clock=_counting_clock(0.5),
+            memory=True,
+        )
+        assert not tracemalloc.is_tracing()  # stopped on the way out
+        memory = result["memory"]
+        assert len(memory["alloc_per_rep_bytes"]) == 2
+        assert all(s >= 0 for s in memory["alloc_per_rep_bytes"])
+        assert memory["peak_rss_bytes"] > 0
+
+    def test_golden_bench_memory_json(self):
+        """The memory-bearing payload, byte for byte — additive-schema
+        drift must be a conscious change to the golden file."""
+        results = run_scenarios(
+            [_toy_scenario()],
+            warmup=1,
+            repetitions=3,
+            clock=_counting_clock(0.5),
+            monitor=_fake_monitor(_SteppingAlloc(step=512)),
+        )
+        payload = _payload(results)
+        validate_bench(payload)
+        assert dumps_bench(payload) == MEMORY_GOLDEN.read_text(
+            encoding="utf-8"
+        )
+
+    def test_memoryless_payload_still_validates(self):
+        payload = _payload([_result("check/toy", [0.5, 0.5])])
+        assert "memory" not in payload["scenarios"][0]
+        assert validate_bench(payload) is payload
+
+    def test_memory_section_violations_rejected(self):
+        def with_memory(**overrides):
+            result = _mem_result("check/toy", [0.5, 0.5], [100, 200])
+            result["memory"].update(overrides)
+            return _payload([result])
+
+        with pytest.raises(BenchError, match="alloc_per_rep_bytes"):
+            validate_bench(with_memory(alloc_per_rep_bytes="lots"))
+        with pytest.raises(BenchError, match="alloc_peak_bytes"):
+            validate_bench(with_memory(alloc_peak_bytes=-1))
+        with pytest.raises(BenchError, match="alloc_median_bytes"):
+            validate_bench(with_memory(alloc_median_bytes=None))
+        with pytest.raises(BenchError, match="gc_collections"):
+            validate_bench(with_memory(gc_collections=-2))
+        with pytest.raises(BenchError, match="gc_pause_seconds_total"):
+            validate_bench(with_memory(gc_pause_seconds_total=-0.5))
+        with pytest.raises(BenchError, match="memory"):
+            result = _mem_result("check/toy", [0.5], [100])
+            result["memory"] = "big"
+            validate_bench(_payload([result]))
+
+    def test_unknown_future_schema_versions_rejected(self):
+        """A payload from a *newer* repro must fail loudly, not
+        half-parse: the reader names both versions."""
+        good = _payload([_mem_result("check/toy", [0.5], [100])])
+        for version in (BENCH_SCHEMA + 1, BENCH_SCHEMA + 7, "1", None):
+            with pytest.raises(BenchError, match="unsupported bench schema"):
+                validate_bench(dict(good, schema=version))
+
+    def test_memory_round_trips_through_protocol_envelope(self):
+        payload = _payload(
+            [_mem_result("check/toy", [0.5, 0.5], [100, 200])]
+        )
+        envelope = protocol.bench_payload(payload)
+        protocol.validate_bench_payload(envelope)
+        decoded = json.loads(protocol.dumps(envelope))
+        assert decoded["scenarios"][0]["memory"] == \
+            payload["scenarios"][0]["memory"]
+
+    def test_memory_round_trips_through_file(self, tmp_path):
+        payload = _payload([_mem_result("check/toy", [0.5], [100])])
+        path = write_bench(payload, tmp_path / "BENCH_mem.json")
+        assert read_bench(path) == payload
+
+
+class TestMemoryComparator:
+    def test_identical_memory_is_within_noise_and_ok(self):
+        payload = _payload(
+            [_mem_result("check/toy", [1.0, 1.0], [1000, 1000])]
+        )
+        comparison = compare_benchmarks(payload, payload, 10.0)
+        (row,) = comparison["memory_rows"]
+        assert row["status"] == "within-noise"
+        assert comparison["memory_regressions"] == []
+        assert comparison["ok"]
+
+    def test_tripled_alloc_median_fails_the_gate(self):
+        old = _payload(
+            [_mem_result("check/toy", [1.0, 1.0], [1000, 1000], stddev=10.0)]
+        )
+        new = _payload(
+            [_mem_result("check/toy", [1.0, 1.0], [3000, 3000], stddev=10.0)]
+        )
+        comparison = compare_benchmarks(old, new, 25.0)
+        (row,) = comparison["memory_rows"]
+        assert row["status"] == "regression"
+        assert row["delta_pct"] == pytest.approx(200.0)
+        assert comparison["memory_regressions"] == ["check/toy"]
+        assert not comparison["ok"]  # time rows alone were fine
+
+    def test_halved_alloc_median_is_an_improvement(self):
+        old = _payload(
+            [_mem_result("check/toy", [1.0], [2000], stddev=10.0)]
+        )
+        new = _payload(
+            [_mem_result("check/toy", [1.0], [1000], stddev=10.0)]
+        )
+        comparison = compare_benchmarks(old, new, 25.0)
+        assert comparison["memory_improvements"] == ["check/toy"]
+        assert comparison["ok"]  # improvements never fail the gate
+
+    def test_shift_inside_byte_noise_envelope_is_noise(self):
+        # +100% median shift, but the per-rep scatter swallows it.
+        old = _payload(
+            [_mem_result("check/toy", [1.0], [1000], stddev=800.0)]
+        )
+        new = _payload(
+            [_mem_result("check/toy", [1.0], [2000], stddev=800.0)]
+        )
+        comparison = compare_benchmarks(old, new, 10.0)
+        (row,) = comparison["memory_rows"]
+        assert row["delta_pct"] == pytest.approx(100.0)
+        assert row["status"] == "within-noise"
+        assert comparison["ok"]
+
+    def test_one_sided_memory_compares_time_only(self):
+        """An old payload without a memory section gates on time alone —
+        no error, no memory rows."""
+        old = _payload([_result("check/toy", [1.0, 1.0])])
+        new = _payload(
+            [_mem_result("check/toy", [1.0, 1.0], [99999999])]
+        )
+        comparison = compare_benchmarks(old, new, 10.0)
+        assert comparison["memory_rows"] == []
+        assert comparison["ok"]
+        # and symmetrically
+        reverse = compare_benchmarks(new, old, 10.0)
+        assert reverse["memory_rows"] == []
+        assert reverse["ok"]
+
+    def test_format_comparison_renders_memory_table_only_when_present(self):
+        with_memory = compare_benchmarks(
+            _payload([_mem_result("check/toy", [1.0], [1000])]),
+            _payload([_mem_result("check/toy", [1.0], [1000])]),
+            10.0,
+        )
+        text = format_comparison(with_memory)
+        assert "memory status" in text
+        assert "byte-noise envelope" in text
+
+        time_only = compare_benchmarks(
+            _payload([_result("check/toy", [1.0])]),
+            _payload([_result("check/toy", [1.0])]),
+            10.0,
+        )
+        assert "memory" not in format_comparison(time_only)
+
+    def test_format_bench_table_memory_columns_are_conditional(self):
+        from repro.obs.bench import format_bench_table
+
+        plain = format_bench_table(_payload([_result("check/toy", [1.0])]))
+        assert "alloc KiB" not in plain
+        enriched = format_bench_table(
+            _payload([_mem_result("check/toy", [1.0], [2048])])
+        )
+        assert "alloc KiB" in enriched and "rss MiB" in enriched
+
+
+class TestMemoryCli:
+    def test_mem_flag_collects_memory_and_writes_resources(
+        self, tmp_path, capsys
+    ):
+        from repro.obs.resources import read_resources
+
+        out = tmp_path / "bench.json"
+        mem = tmp_path / "mem.json"
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "2", "--warmup", "0",
+            "--output", str(out), "--mem", "--mem-json", str(mem),
+        ]) == 0
+        (scenario,) = read_bench(out)["scenarios"]
+        memory = scenario["memory"]
+        assert len(memory["alloc_per_rep_bytes"]) == 2
+        assert memory["alloc_peak_bytes"] > 0
+        assert memory["peak_rss_bytes"] > 0
+        resources = read_resources(mem)
+        names = [row["name"] for row in resources["sections"]]
+        assert "checker.check" in names
+        assert "resources written to" in capsys.readouterr().err
+
+    def test_without_mem_flag_no_memory_section(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main([
+            "bench", "--scenario", "check/wind_sensor",
+            "--repetitions", "1", "--warmup", "0", "--output", str(out),
+        ]) == 0
+        (scenario,) = read_bench(out)["scenarios"]
+        assert "memory" not in scenario

@@ -289,5 +289,148 @@ class TestTrendCli:
         history = Path(__file__).resolve().parents[2] / "benchmarks/history"
         assert main(["bench", "trend", "--history", str(history)]) == 0
         out = capsys.readouterr().out
-        assert "3 payload(s)" in out
+        assert "4 payload(s)" in out
         assert "0 file(s) skipped" in out
+        # the seeded BENCH_run4.json carries memory telemetry, so a
+        # fresh clone renders the memory series out of the box
+        assert "mem trend" in out
+        assert "point(s) with allocation telemetry" in out
+
+
+def _mem_payload(created: str, scenarios: dict) -> dict:
+    """One bench payload; ``scenarios`` maps name -> (samples, allocs);
+    ``allocs=None`` leaves that scenario without a memory section."""
+    import statistics
+
+    results = []
+    for name, (samples, allocs) in sorted(scenarios.items()):
+        memory = None
+        if allocs is not None:
+            memory = {
+                "peak_rss_bytes": 64 * 1048576,
+                "alloc_per_rep_bytes": list(allocs),
+                "alloc_peak_bytes": max(allocs),
+                "alloc_median_bytes": float(statistics.median(allocs)),
+                "alloc_stddev_bytes": (
+                    float(statistics.stdev(allocs))
+                    if len(allocs) > 1 else 0.0
+                ),
+                "gc_collections": 1,
+                "gc_pause_seconds_total": 0.001,
+            }
+        results.append(scenario_result_from_samples(
+            name, "check", samples, counters={"ops": 2}, warmup=1,
+            memory=memory,
+        ))
+    return bench_payload(
+        results,
+        suite="golden",
+        warmup=1,
+        repetitions=max(r["repetitions"] for r in results),
+        fingerprint=dict(PINNED_FINGERPRINT),
+        created_utc=created,
+    )
+
+
+def _seed_memory_history(directory: Path) -> None:
+    """Four payloads: the first predates memory telemetry, then a flat
+    allocation series with a step regression on the last run.  Time
+    stays flat throughout."""
+    flat = [1.0, 1.0, 1.0]
+    runs = [
+        ("BENCH_a.json", "2026-01-01T00:00:00Z", (flat, None)),
+        ("BENCH_b.json", "2026-01-02T00:00:00Z", (flat, [1000, 1000, 1000])),
+        ("BENCH_c.json", "2026-01-03T00:00:00Z", (flat, [1005, 1010, 1000])),
+        ("BENCH_d.json", "2026-01-04T00:00:00Z", (flat, [2000, 2000, 2000])),
+    ]
+    for filename, created, spec in runs:
+        write_bench(
+            _mem_payload(created, {"check/toy": spec}),
+            directory / filename,
+        )
+
+
+class TestMemoryTrend:
+    def test_points_carry_memory_fields(self, tmp_path):
+        _seed_memory_history(tmp_path)
+        payloads, _ = load_history(tmp_path)
+        (entry,) = trend_series(payloads)
+        points = entry["points"]
+        assert [p["alloc_median_bytes"] for p in points] == [
+            None, 1000.0, 1005.0, 2000.0,
+        ]
+        assert points[0]["peak_rss_bytes"] is None
+        assert points[1]["peak_rss_bytes"] == 64 * 1048576
+        assert points[1]["alloc_stddev_bytes"] == 0.0
+
+    def test_memory_step_detected_with_index_remapped(self, tmp_path):
+        """The allocation step on run d must be flagged even though the
+        memory subseries skips the telemetry-free first payload — the
+        changepoint index refers to the full point list."""
+        _seed_memory_history(tmp_path)
+        trend = bench_trend(tmp_path)
+        (entry,) = trend["series"]
+        assert entry["changepoints"] == []  # time stayed flat
+        (cp,) = entry["memory_changepoints"]
+        assert cp["file"] == "BENCH_d.json"
+        assert cp["direction"] == "regression"
+        assert cp["index"] == 3  # position among all four points
+        assert entry["memory_points"] == 3
+        assert entry["net_memory_delta_pct"] == pytest.approx(100.0)
+
+    def test_memoryless_history_has_no_memory_series(self, tmp_path):
+        _seed_history(tmp_path)
+        trend = bench_trend(tmp_path)
+        for entry in trend["series"]:
+            assert entry["memory_changepoints"] == []
+            assert entry["memory_points"] == 0
+            assert entry["net_memory_delta_pct"] is None
+
+    def test_format_table_memory_columns_are_conditional(self, tmp_path):
+        _seed_memory_history(tmp_path)
+        table = format_trend_table(bench_trend(tmp_path))
+        assert "mem trend" in table
+        assert "mem changepoints" in table
+        assert "point(s) with allocation telemetry" in table
+
+        plain_dir = tmp_path / "plain"
+        plain_dir.mkdir()
+        _seed_history(plain_dir)
+        plain = format_trend_table(bench_trend(plain_dir))
+        assert "mem trend" not in plain
+        assert "allocation telemetry" not in plain
+
+
+class TestScenarioFilter:
+    def test_filter_to_one_scenario(self, tmp_path):
+        _seed_history(tmp_path)
+        trend = bench_trend(tmp_path, scenarios=["check/toy"])
+        assert [s["scenario"] for s in trend["series"]] == ["check/toy"]
+
+    def test_unknown_scenario_names_available_series(self, tmp_path):
+        _seed_history(tmp_path)
+        with pytest.raises(BenchError, match="no history for scenario"):
+            bench_trend(tmp_path, scenarios=["check/nope"])
+        try:
+            bench_trend(tmp_path, scenarios=["check/nope"])
+        except BenchError as exc:
+            assert "check/other" in str(exc)
+            assert "check/toy" in str(exc)
+
+    def test_trend_cli_scenario_flag(self, tmp_path, capsys):
+        _seed_history(tmp_path)
+        assert main([
+            "bench", "trend", "--history", str(tmp_path),
+            "--scenario", "check/other",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "check/other" in out
+        assert "check/toy" not in out
+
+    def test_trend_cli_unknown_scenario_exits_2(self, tmp_path, capsys):
+        _seed_history(tmp_path)
+        assert main([
+            "bench", "trend", "--history", str(tmp_path),
+            "--scenario", "check/nope",
+        ]) == 2
+        assert "no history for scenario" in capsys.readouterr().err

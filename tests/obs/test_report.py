@@ -76,7 +76,7 @@ def _reference_manifest() -> dict:
                 "obs": {
                     "run_seconds": 0.25, "queue_wait_seconds": 0.05,
                     "attempts": 1, "retries": 0, "timeouts": 0,
-                    "pid": 4242,
+                    "pid": 4242, "peak_rss_bytes": 44040192,
                 },
             },
             "wind_sensor:0001": {
@@ -489,9 +489,134 @@ class TestTrendPanel:
         assert "report written to" in capsys.readouterr().err
         assert "Perf trajectory" in out.read_text(encoding="utf-8")
 
-    def test_empty_history_dir_renders_empty_page(self, tmp_path):
+    def test_empty_history_dir_renders_no_history_notice(self, tmp_path):
+        """An existing-but-empty history directory is a valid state (a
+        fresh clone before the first bench run): the page renders with
+        an explanatory note instead of the generic empty-report text."""
         history = tmp_path / "history"
         history.mkdir()
         document = write_report(tmp_path / "report.html",
                                 history_dir=history)
-        assert "Nothing to report" in document
+        assert "Perf trajectory" in document
+        assert "No bench history" in document
+        assert "repro bench" in document
+
+    def test_missing_history_dir_renders_no_history_notice(self, tmp_path):
+        """Regression: --history pointing at a directory that does not
+        exist used to raise out of bench_trend; it must render a valid
+        'no history' page naming the missing directory."""
+        history = tmp_path / "does-not-exist"
+        document = write_report(tmp_path / "report.html",
+                                history_dir=history)
+        assert "No bench history" in document
+        assert "does-not-exist" in document
+
+    def test_report_cli_missing_history_dir_exits_zero(self, tmp_path,
+                                                       capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.html"
+        assert main([
+            "report", "--history", str(tmp_path / "nope"),
+            "--html", str(out),
+        ]) == 0
+        assert "report written to" in capsys.readouterr().err
+        assert "No bench history" in out.read_text(encoding="utf-8")
+
+
+MEMORY_REPORT_GOLDEN = (
+    Path(__file__).parent / "golden" / "report_memory.golden.html"
+)
+
+
+def _memory_history(directory: Path) -> Path:
+    """Three pinned memory-bearing payloads with an allocation step on
+    the last run while time stays flat."""
+    import statistics
+
+    from repro.obs.bench import bench_payload, \
+        scenario_result_from_samples, write_bench
+
+    directory.mkdir(parents=True, exist_ok=True)
+    runs = [
+        ("BENCH_a.json", "2026-01-01T00:00:00Z", [1000, 1000, 1000]),
+        ("BENCH_b.json", "2026-01-02T00:00:00Z", [1005, 1010, 1000]),
+        ("BENCH_c.json", "2026-01-03T00:00:00Z", [2000, 2000, 2000]),
+    ]
+    for filename, created, allocs in runs:
+        result = scenario_result_from_samples(
+            "check/toy", "check", [1.0, 1.0, 1.0],
+            counters={"ops": 2}, warmup=1,
+            memory={
+                "peak_rss_bytes": 64 * 1048576,
+                "alloc_per_rep_bytes": list(allocs),
+                "alloc_peak_bytes": max(allocs),
+                "alloc_median_bytes": float(statistics.median(allocs)),
+                "alloc_stddev_bytes": (
+                    float(statistics.stdev(allocs))
+                    if len(allocs) > 1 else 0.0
+                ),
+                "gc_collections": 1,
+                "gc_pause_seconds_total": 0.002,
+            },
+        )
+        payload = bench_payload(
+            [result], suite="golden", warmup=1, repetitions=3,
+            fingerprint=dict(_TREND_FINGERPRINT), created_utc=created,
+        )
+        write_bench(payload, directory / filename)
+    return directory
+
+
+class TestMemoryPanel:
+    def test_memory_panel_renders_for_memory_bearing_bench(self, tmp_path):
+        document = write_report(
+            tmp_path / "report.html",
+            bench_paths=[
+                Path(__file__).parent / "golden"
+                / "bench_memory.golden.json"
+            ],
+        )
+        assert "<h2>Memory</h2>" in document
+        assert "alloc median KiB" in document
+        assert "peak RSS MiB" in document
+
+    def test_no_memory_panel_without_memory_sections(self, tmp_path):
+        document = write_report(
+            tmp_path / "report.html",
+            bench_paths=[
+                Path(__file__).parent / "golden" / "bench.golden.json"
+            ],
+        )
+        assert "<h2>Memory</h2>" not in document
+
+    def test_memory_trajectory_renders_with_changepoint(self, tmp_path):
+        history = _memory_history(tmp_path / "history")
+        document = write_report(tmp_path / "report.html",
+                                history_dir=history)
+        assert "Memory trajectory" in document
+        assert 'data-memory-points="3"' in document
+        # the injected allocation step lands in the changepoint table
+        assert "baseline alloc KiB" in document
+        assert "2026-01-03T00:00:00Z" in document
+
+    def test_time_only_history_renders_no_memory_trajectory(self, tmp_path):
+        history = _trend_history(tmp_path / "history")
+        document = write_report(tmp_path / "report.html",
+                                history_dir=history)
+        assert "Perf trajectory" in document
+        assert "Memory trajectory" not in document
+
+    def test_golden_memory_report_is_byte_stable(self, tmp_path):
+        """The memory panel + memory trajectory, byte for byte — layout
+        drift must be a conscious golden regeneration."""
+        history = _memory_history(tmp_path / "history")
+        document = write_report(
+            tmp_path / "report.html",
+            bench_paths=[
+                Path(__file__).parent / "golden"
+                / "bench_memory.golden.json"
+            ],
+            history_dir=history,
+        )
+        assert document == MEMORY_REPORT_GOLDEN.read_text(encoding="utf-8")

@@ -8,7 +8,8 @@ from repro.obs import RingBufferSink, Tracer, installed_tracer
 from repro.runtime.campaign import CampaignConfig, CampaignRunner
 
 OBS_KEYS = {
-    "run_seconds", "queue_wait_seconds", "attempts", "retries", "timeouts"
+    "run_seconds", "queue_wait_seconds", "attempts", "retries", "timeouts",
+    "peak_rss_bytes",
 }
 
 
@@ -44,6 +45,8 @@ class TestShardObs:
             assert obs["attempts"] >= 1
             assert obs["retries"] == obs["attempts"] - 1
             assert obs["timeouts"] == 0
+            # worker-side memory accounting (POSIX: always present)
+            assert obs["peak_rss_bytes"] > 0
 
     def test_obs_survives_parallel_execution(self, tmp_path):
         checkpoint = tmp_path / "ck.json"

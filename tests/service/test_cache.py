@@ -182,3 +182,39 @@ class TestWarmRunSpeedup:
             f"warm {warm_elapsed:.4f}s not 5x faster than "
             f"cold {cold_elapsed:.4f}s"
         )
+
+
+class TestOccupancy:
+    def test_memory_tier_counts_entries_and_bytes(self, wind_source):
+        cache = ResultCache(max_entries=4)
+        occupancy = cache.occupancy()
+        assert occupancy == {"memory": {"entries": 0, "bytes": 0}}
+        cache.put(wind_source, check_program(wind_source))
+        occupancy = cache.occupancy()
+        assert occupancy["memory"]["entries"] == 1
+        assert occupancy["memory"]["bytes"] > 0
+        assert "disk" not in occupancy  # memory-only cache
+
+    def test_eviction_releases_tracked_bytes(self, wind_source):
+        report = check_program(wind_source)
+        cache = ResultCache(max_entries=2)
+        cache.put(wind_source, report)
+        per_entry = cache.occupancy()["memory"]["bytes"]
+        for index in range(4):
+            cache.put(f"// v{index}\n{wind_source}", report)
+        occupancy = cache.occupancy()
+        assert occupancy["memory"]["entries"] == 2
+        # evicted entries must not keep contributing bytes
+        assert occupancy["memory"]["bytes"] == per_entry * 2
+        assert len(cache._sizes) == 2
+
+    def test_disk_tier_counts_files(self, tmp_path, wind_source):
+        cache = ResultCache(disk_dir=tmp_path / "disk")
+        cache.put(wind_source, check_program(wind_source))
+        occupancy = cache.occupancy()
+        assert occupancy["disk"]["entries"] == 1
+        assert occupancy["disk"]["bytes"] > 0
+
+    def test_missing_disk_dir_reads_as_empty(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path / "never-created")
+        assert cache.occupancy()["disk"] == {"entries": 0, "bytes": 0}

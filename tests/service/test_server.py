@@ -124,3 +124,42 @@ class TestShutdown:
         thread.join(timeout=5)
         assert not thread.is_alive()
         srv.close()
+
+
+class TestResourceTelemetry:
+    def test_status_metrics_carry_resource_gauges(self, server, wind_source):
+        with ReproClient(server.socket_path) as client:
+            client.check(source=wind_source)
+            response = client.request({"op": "status"})
+        gauges = response["metrics"]["gauges"]
+        assert gauges["repro_rss_bytes"] > 0
+        assert gauges["repro_gc_collections_total"] >= 0
+        assert gauges["repro_gc_pause_seconds_total"] >= 0.0
+        # the configured cache reports both tiers plus the aggregate
+        assert gauges["repro_cache_memory_entries"] >= 1
+        assert gauges["repro_cache_memory_bytes"] > 0
+        assert gauges["repro_cache_disk_entries"] >= 1
+        assert gauges["repro_cache_bytes"] >= gauges[
+            "repro_cache_memory_bytes"
+        ]
+
+    def test_prometheus_exposition_names_resource_gauges(
+        self, server, wind_source
+    ):
+        with ReproClient(server.socket_path) as client:
+            client.check(source=wind_source)
+            text = client.metrics(format="prometheus")["metrics_text"]
+        for name in ("repro_rss_bytes", "repro_gc_collections_total",
+                     "repro_gc_pause_seconds_total", "repro_cache_bytes"):
+            assert name in text
+
+    def test_close_unregisters_gc_callback(self, tmp_path):
+        import gc
+
+        srv = ReproServer(tmp_path / "repro.sock")
+        thread = srv.start()
+        assert srv.resources._on_gc in gc.callbacks
+        srv.shutdown()
+        thread.join(timeout=5)
+        srv.close()
+        assert srv.resources._on_gc not in gc.callbacks

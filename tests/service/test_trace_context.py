@@ -166,7 +166,22 @@ class TestHttpPlane:
                     timeout=5,
                 ) as response:
                     http_body = response.read()
-            assert http_body == socket_text.encode("utf-8")
+
+            # The resource gauges (RSS, GC) read live process state and
+            # may legitimately drift between the two scrapes — strip
+            # them before the byte diff, but insist both scrapes carry
+            # them.
+            def stable(text: str) -> str:
+                return "\n".join(
+                    line for line in text.splitlines()
+                    if not line.startswith(("repro_rss_", "repro_gc_"))
+                )
+
+            http_text = http_body.decode("utf-8")
+            assert stable(http_text) == stable(socket_text)
+            for scrape in (http_text, socket_text):
+                assert "repro_rss_bytes" in scrape
+                assert "repro_gc_collections_total" in scrape
         finally:
             srv.shutdown()
             thread.join(timeout=5)
@@ -190,6 +205,11 @@ class TestHttpPlane:
             import os
 
             assert health["pid"] == os.getpid()
+            # Resource telemetry (memory PR): RSS, GC, cache occupancy.
+            assert health["rss_bytes"] > 0
+            assert health["gc"]["collections"] >= 0
+            assert health["gc"]["pause_seconds_total"] >= 0.0
+            assert health["cache_occupancy"] == {}  # no cache configured
         finally:
             srv.shutdown()
             thread.join(timeout=5)
